@@ -1,0 +1,436 @@
+// Benchmark harness: one testing.B benchmark per table/figure of the
+// paper's evaluation (Section 6), plus micro-benchmarks of every substrate
+// and ablation benches for the design choices called out in DESIGN.md.
+//
+// The figure benches run scaled-down workloads (see experiment.QuickBase)
+// so `go test -bench=.` completes in minutes; the cmd/benchfigs tool runs
+// the same sweeps at paper scale. Alongside ns/op, each figure bench
+// reports the paper's own metrics via b.ReportMetric: index sizes, top-k
+// scores and coordinator time, for both SinglePath and the DP benchmark.
+package hotpaths_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hotpaths/internal/coordinator"
+	"hotpaths/internal/dp"
+	"hotpaths/internal/experiment"
+	"hotpaths/internal/geom"
+	"hotpaths/internal/gridindex"
+	"hotpaths/internal/hotness"
+	"hotpaths/internal/imai"
+	"hotpaths/internal/motion"
+	"hotpaths/internal/overlap"
+	"hotpaths/internal/raytrace"
+	"hotpaths/internal/simulation"
+	"hotpaths/internal/trajectory"
+	"hotpaths/internal/uncertainty"
+	"hotpaths/internal/workload"
+)
+
+// --- Figure 7: varying the number of objects (index size, score, time) ---
+
+func BenchmarkFigure7(b *testing.B) {
+	for _, n := range []int{500, 1000, 2500, 5000} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			base, err := experiment.QuickBase(1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			base.N = n
+			var last *simulation.Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := simulation.Run(base)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.StopTimer()
+			reportFigureMetrics(b, last)
+		})
+	}
+}
+
+// --- Figure 8: varying the tolerance ---
+
+func BenchmarkFigure8(b *testing.B) {
+	for _, eps := range []float64{1, 2, 10, 20} {
+		b.Run(fmt.Sprintf("eps=%g", eps), func(b *testing.B) {
+			base, err := experiment.QuickBase(1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			base.Eps = eps
+			var last *simulation.Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := simulation.Run(base)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.StopTimer()
+			reportFigureMetrics(b, last)
+		})
+	}
+}
+
+func reportFigureMetrics(b *testing.B, res *simulation.Result) {
+	b.Helper()
+	if res == nil {
+		return
+	}
+	b.ReportMetric(res.AvgIndexSize, "sp-index")
+	b.ReportMetric(res.AvgDPIndexSize, "dp-index")
+	b.ReportMetric(res.AvgTopKScore, "sp-score")
+	b.ReportMetric(res.AvgDPTopKScore, "dp-score")
+	b.ReportMetric(float64(res.AvgProcTime.Microseconds())/1000, "sp-ms/epoch")
+	b.ReportMetric(float64(res.Comm.UpMessages), "msgs")
+}
+
+// --- Figures 9/10: qualitative renders (bench the full pipeline + render) ---
+
+func BenchmarkFigure9Render(b *testing.B) {
+	base, err := experiment.QuickBase(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base.Duration = 100
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiment.Figure9(base); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure10Render(b *testing.B) {
+	base, err := experiment.QuickBase(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base.Duration = 100
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Figure10(base, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 2 / communication ablation ---
+
+func BenchmarkCommAblation(b *testing.B) {
+	base, err := experiment.QuickBase(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base.Duration = 100
+	var rows []experiment.CommRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err = experiment.CommAblation(base, []float64{2, 10, 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if len(rows) == 3 {
+		b.ReportMetric(rows[0].Ratio, "ratio-eps2")
+		b.ReportMetric(rows[2].Ratio, "ratio-eps20")
+	}
+}
+
+// --- Micro-benchmarks: substrates ---
+
+func benchWalk(n int, seed int64) []trajectory.TimePoint {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]trajectory.TimePoint, n)
+	cur := geom.Pt(0, 0)
+	dir := geom.Pt(5, 0)
+	for i := range pts {
+		if rng.Float64() < 0.1 {
+			dir = geom.Pt(rng.Float64()*10-5, rng.Float64()*10-5)
+		}
+		cur = cur.Add(dir).Add(geom.Pt(rng.Float64()-0.5, rng.Float64()-0.5))
+		pts[i] = trajectory.TP(cur, trajectory.Time(i))
+	}
+	return pts
+}
+
+// BenchmarkRayTraceProcess measures the per-timepoint cost of the filter —
+// the paper's O(1) claim.
+func BenchmarkRayTraceProcess(b *testing.B) {
+	pts := benchWalk(b.N+1, 3)
+	f := raytrace.New(pts[0], 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, report, err := f.Process(pts[i+1])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if report {
+			if _, _, err := f.Respond(trajectory.TP(st.FSA.Centroid(), st.Te)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkGridInsertRemove(b *testing.B) {
+	bounds := geom.Rect{Lo: geom.Pt(0, 0), Hi: geom.Pt(10000, 10000)}
+	g, err := gridindex.New(bounds, 64, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	pts := make([]geom.Point, b.N)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := gridindex.Entry{ID: motion.PathID(i), End: pts[i], Start: geom.Pt(0, 0)}
+		g.Insert(e)
+		if i >= 1000 {
+			g.Remove(motion.PathID(i-1000), pts[i-1000])
+		}
+	}
+}
+
+func BenchmarkGridQuery(b *testing.B) {
+	bounds := geom.Rect{Lo: geom.Pt(0, 0), Hi: geom.Pt(10000, 10000)}
+	g, _ := gridindex.New(bounds, 64, 64)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50000; i++ {
+		g.Insert(gridindex.Entry{
+			ID:  motion.PathID(i),
+			End: geom.Pt(rng.Float64()*10000, rng.Float64()*10000),
+		})
+	}
+	b.ResetTimer()
+	found := 0
+	for i := 0; i < b.N; i++ {
+		lo := geom.Pt(rng.Float64()*9900, rng.Float64()*9900)
+		q := geom.Rect{Lo: lo, Hi: lo.Add(geom.Pt(40, 40))}
+		g.Query(q, func(gridindex.Entry) bool { found++; return true })
+	}
+	_ = found
+}
+
+func BenchmarkHotnessWindow(b *testing.B) {
+	h, _ := hotness.New(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Cross(motion.PathID(i%1000), trajectory.Time(i))
+		if i%10 == 0 {
+			h.Advance(trajectory.Time(i), nil)
+		}
+	}
+}
+
+func BenchmarkOverlapDeepest(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	s, _ := overlap.NewSet(20)
+	// A realistic epoch batch: 2000 FSAs clustered around 50 hotspots.
+	for i := 0; i < 2000; i++ {
+		cx := float64(rng.Intn(50)) * 200
+		cy := float64(rng.Intn(50)) * 200
+		lo := geom.Pt(cx+rng.Float64()*30, cy+rng.Float64()*30)
+		s.Add(geom.Rect{Lo: lo, Hi: lo.Add(geom.Pt(20, 20))})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cx := float64(rng.Intn(50)) * 200
+		q := geom.Rect{Lo: geom.Pt(cx, cx), Hi: geom.Pt(cx+60, cx+60)}
+		s.DeepestWithin(q)
+	}
+}
+
+func BenchmarkDPOpeningWindow(b *testing.B) {
+	pts := benchWalk(b.N+1, 11)
+	w, err := dp.NewOpeningWindow(5, dp.NOPW)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Process(pts[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUncertaintySolver(b *testing.B) {
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := uncertainty.MaxOffset(10, 0.05, 1+float64(i%5)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("table", func(b *testing.B) {
+		tab, err := uncertainty.NewTable(0.05, 0.5, 50, 2000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := tab.MaxOffset(10, 1+float64(i%5)); !ok {
+				b.Fatal("table miss")
+			}
+		}
+	})
+}
+
+// BenchmarkCoordinatorEpoch measures SinglePath's per-epoch batch cost.
+func BenchmarkCoordinatorEpoch(b *testing.B) {
+	for _, batch := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			bounds := geom.Rect{Lo: geom.Pt(0, 0), Hi: geom.Pt(10000, 10000)}
+			c, err := coordinator.New(coordinator.Config{Bounds: bounds, W: 100, Eps: 10})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(13))
+			now := trajectory.Time(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				reports := make([]coordinator.Report, batch)
+				for j := range reports {
+					s := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+					fsa := geom.RectAround(s.Add(geom.Pt(80, 20)), 10)
+					reports[j] = coordinator.Report{
+						ObjectID: j,
+						State:    raytrace.State{Start: s, Ts: now, FSA: fsa, Te: now + 10},
+					}
+				}
+				if _, err := c.ProcessEpoch(reports); err != nil {
+					b.Fatal(err)
+				}
+				now += 10
+				c.Advance(now)
+			}
+		})
+	}
+}
+
+// --- Ablation benches (DESIGN.md Section 5) ---
+
+// BenchmarkAblationImai compares the on-line RayTrace segment count against
+// the offline anchored greedy on identical single-object inputs.
+func BenchmarkAblationImai(b *testing.B) {
+	pts := benchWalk(5000, 17)
+	const eps = 5.0
+	var offline, online int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		offline, err = imai.SegmentCount(pts, eps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f := raytrace.New(pts[0], eps)
+		online = 0
+		for _, p := range pts[1:] {
+			st, report, err := f.Process(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for report {
+				online++
+				st, report, err = f.Respond(trajectory.TP(st.FSA.Centroid(), st.Te))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(offline), "offline-segs")
+	b.ReportMetric(float64(online), "online-segs")
+}
+
+// BenchmarkAblationGridCell sweeps the coordinator grid resolution.
+func BenchmarkAblationGridCell(b *testing.B) {
+	for _, cells := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("grid=%dx%d", cells, cells), func(b *testing.B) {
+			base, err := experiment.QuickBase(1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			base.Duration = 100
+			base.RunDP = false
+			base.GridCols, base.GridRows = cells, cells
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := simulation.Run(base); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMovementModel quantifies the α-semantics ablation
+// discussed in DESIGN.md/EXPERIMENTS.md: the literal i.i.d. coin-flip
+// realisation of agility versus the traffic-light (bursty) model.
+func BenchmarkAblationMovementModel(b *testing.B) {
+	for _, model := range []workload.MovementModel{workload.Bursty, workload.IID} {
+		b.Run(model.String(), func(b *testing.B) {
+			base, err := experiment.QuickBase(1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			base.Duration = 100
+			base.Model = model
+			base.RunDP = false
+			var last *simulation.Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				last, err = simulation.Run(base)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if last != nil {
+				b.ReportMetric(last.AvgIndexSize, "sp-index")
+				b.ReportMetric(last.AvgTopKScore, "sp-score")
+				b.ReportMetric(float64(last.Comm.UpMessages), "msgs")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDPPolicy compares the two opening-window policies.
+func BenchmarkAblationDPPolicy(b *testing.B) {
+	for _, pol := range []dp.Policy{dp.NOPW, dp.BOPW} {
+		b.Run(pol.String(), func(b *testing.B) {
+			base, err := experiment.QuickBase(1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			base.Duration = 100
+			base.DPPolicy = pol
+			var last *simulation.Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				last, err = simulation.Run(base)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if last != nil {
+				b.ReportMetric(last.AvgDPIndexSize, "dp-index")
+				b.ReportMetric(last.AvgDPTopKScore, "dp-score")
+			}
+		})
+	}
+}

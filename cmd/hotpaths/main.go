@@ -1,0 +1,226 @@
+// Command hotpaths runs one full simulation of the paper's distributed
+// environment and prints per-epoch statistics plus the final top-k hottest
+// motion paths.
+//
+// Usage:
+//
+//	hotpaths [-n 20000] [-eps 10] [-w 100] [-epoch 10] [-duration 250]
+//	         [-k 10] [-agility 0.1] [-step 10] [-err 1] [-seed 1]
+//	         [-net network.txt] [-iid] [-dp] [-quiet]
+//
+// Without -net, the synthetic Athens-like network is generated from the
+// seed. Alternatively, -trace replays a recorded measurement trace (as
+// written by genworkload) through the full RayTrace + SinglePath pipeline,
+// ignoring the workload flags:
+//
+//	hotpaths -trace trace.txt [-eps 10] [-w 100] [-epoch 10] [-k 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hotpaths/internal/dp"
+	"hotpaths/internal/roadnet"
+	"hotpaths/internal/simulation"
+	"hotpaths/internal/stats"
+	"hotpaths/internal/trace"
+	"hotpaths/internal/trajectory"
+	"hotpaths/internal/workload"
+
+	"hotpaths"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 20000, "number of moving objects")
+		eps      = flag.Float64("eps", 10, "tolerance epsilon, metres")
+		w        = flag.Int64("w", 100, "sliding window length, timestamps")
+		epoch    = flag.Int64("epoch", 10, "epoch length, timestamps")
+		duration = flag.Int64("duration", 250, "simulation length, timestamps")
+		k        = flag.Int("k", 10, "top-k hottest paths to report")
+		agility  = flag.Float64("agility", 0.1, "fraction of objects moving per timestamp")
+		step     = flag.Float64("step", 10, "displacement per move, metres")
+		errAmp   = flag.Float64("err", 1, "positional noise amplitude, metres")
+		seed     = flag.Int64("seed", 1, "random seed")
+		netFile  = flag.String("net", "", "road network file (default: generate Athens-like)")
+		traceIn  = flag.String("trace", "", "replay a recorded measurement trace instead of simulating")
+		iid      = flag.Bool("iid", false, "use the literal i.i.d. agility model instead of traffic lights")
+		runDP    = flag.Bool("dp", false, "also run the DP benchmark")
+		quiet    = flag.Bool("quiet", false, "suppress per-epoch rows")
+	)
+	flag.Parse()
+
+	if *traceIn != "" {
+		if err := replayTrace(*traceIn, *eps, *w, *epoch, *k); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	net, err := loadNetwork(*netFile, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	model := workload.Bursty
+	if *iid {
+		model = workload.IID
+	}
+	cfg := simulation.Config{
+		Net:      net,
+		Model:    model,
+		N:        *n,
+		Eps:      *eps,
+		Err:      *errAmp,
+		Agility:  *agility,
+		Step:     *step,
+		W:        trajectory.Time(*w),
+		Epoch:    trajectory.Time(*epoch),
+		Duration: trajectory.Time(*duration),
+		K:        *k,
+		Seed:     *seed,
+		RunDP:    *runDP,
+		DPPolicy: dp.NOPW,
+	}
+	res, err := simulation.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if !*quiet {
+		var tb stats.Table
+		if *runDP {
+			tb.AddRow("epoch", "t", "reports", "index", "score", "time-ms", "dp-index", "dp-score")
+		} else {
+			tb.AddRow("epoch", "t", "reports", "index", "score", "time-ms")
+		}
+		for _, e := range res.PerEpoch {
+			cells := []string{
+				fmt.Sprintf("%d", e.Epoch),
+				fmt.Sprintf("%d", e.Now),
+				fmt.Sprintf("%d", e.Reports),
+				fmt.Sprintf("%d", e.IndexSize),
+				fmt.Sprintf("%.0f", e.TopKScore),
+				fmt.Sprintf("%.3f", float64(e.ProcTime.Microseconds())/1000),
+			}
+			if *runDP {
+				cells = append(cells,
+					fmt.Sprintf("%d", e.DPIndexSize),
+					fmt.Sprintf("%.0f", e.DPTopKScore))
+			}
+			tb.AddRow(cells...)
+		}
+		tb.WriteTo(os.Stdout)
+		fmt.Println()
+	}
+
+	fmt.Printf("averages per epoch: index=%.0f score=%.0f time=%v\n",
+		res.AvgIndexSize, res.AvgTopKScore, res.AvgProcTime)
+	if *runDP {
+		fmt.Printf("DP benchmark:       index=%.0f score=%.0f\n",
+			res.AvgDPIndexSize, res.AvgDPTopKScore)
+	}
+	fmt.Printf("communication: %d measurements -> %d state messages (%.1fx byte compression)\n",
+		res.Comm.Measurements, res.Comm.UpMessages, res.CompressionRatio())
+
+	fmt.Printf("\ntop-%d hottest motion paths:\n", *k)
+	var tb stats.Table
+	tb.AddRow("id", "hotness", "length-m", "score", "from", "to")
+	for _, hp := range res.TopK {
+		tb.AddRow(
+			fmt.Sprintf("%d", hp.Path.ID),
+			fmt.Sprintf("%d", hp.Hotness),
+			fmt.Sprintf("%.0f", hp.Path.Length()),
+			fmt.Sprintf("%.0f", hp.Score()),
+			hp.Path.S.String(),
+			hp.Path.E.String(),
+		)
+	}
+	tb.WriteTo(os.Stdout)
+}
+
+// replayTrace feeds a recorded trace through the public API and prints the
+// resulting top-k.
+func replayTrace(path string, eps float64, w, epoch int64, k int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	// The trace's extent is unknown upfront; scan once for bounds, then
+	// replay. Traces are files, so two passes are fine.
+	recs, err := trace.ReadAll(f)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("trace %s is empty", path)
+	}
+	lo, hi := recs[0].TP.P, recs[0].TP.P
+	for _, r := range recs[1:] {
+		lo = lo.Min(r.TP.P)
+		hi = hi.Max(r.TP.P)
+	}
+	sys, err := hotpaths.New(hotpaths.Config{
+		Eps:    eps,
+		W:      w,
+		Epoch:  epoch,
+		K:      k,
+		Bounds: hotpaths.Rect{Min: hotpaths.Pt(lo.X-eps, lo.Y-eps), Max: hotpaths.Pt(hi.X+eps, hi.Y+eps)},
+	})
+	if err != nil {
+		return err
+	}
+	// Walk every timestamp so epochs fire on schedule even through silent
+	// stretches; records are time-ordered, so a single cursor suffices.
+	endT := int64(recs[len(recs)-1].TP.T)
+	i := 0
+	for t := int64(1); t <= endT; t++ {
+		for i < len(recs) && int64(recs[i].TP.T) == t {
+			r := recs[i]
+			if err := sys.Observe(r.ObjectID, r.TP.P.X, r.TP.P.Y, t); err != nil {
+				return err
+			}
+			i++
+		}
+		if err := sys.Tick(t); err != nil {
+			return err
+		}
+	}
+
+	st := sys.Stats()
+	fmt.Printf("replayed %d measurements: %d reports, %d paths live\n",
+		st.Observations, st.Reports, st.IndexSize)
+	fmt.Printf("\ntop-%d hottest motion paths:\n", k)
+	var tb stats.Table
+	tb.AddRow("id", "hotness", "length-m", "score")
+	for _, hp := range sys.TopK() {
+		tb.AddRow(
+			fmt.Sprintf("%d", hp.ID),
+			fmt.Sprintf("%d", hp.Hotness),
+			fmt.Sprintf("%.0f", hp.Length()),
+			fmt.Sprintf("%.0f", hp.Score()),
+		)
+	}
+	tb.WriteTo(os.Stdout)
+	return nil
+}
+
+func loadNetwork(path string, seed int64) (*roadnet.Network, error) {
+	if path == "" {
+		return roadnet.GenerateAthens(seed)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return roadnet.Read(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hotpaths:", err)
+	os.Exit(1)
+}

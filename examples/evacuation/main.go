@@ -1,0 +1,135 @@
+// Emergency evacuation (the paper's second motivating scenario, Section 1):
+// a fire breaks out in a rural area and residents flee their villages
+// toward two exits. Authorities track phones and must identify the popular
+// escape routes ON-LINE — every few minutes the current hottest paths are
+// re-read from the sliding window, so assistance (ambulances, fire engines)
+// is directed where people are actually moving NOW, not where they moved an
+// hour ago.
+//
+// The fire spreads mid-simulation and cuts the northern route; the hot-path
+// ranking visibly shifts to the southern exit as the window slides.
+//
+// Run with: go run ./examples/evacuation
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"hotpaths"
+)
+
+func main() {
+	var (
+		villageA = hotpaths.Pt(3000, 3000) // north village
+		villageB = hotpaths.Pt(3200, 1000) // south village
+		exitN    = hotpaths.Pt(6000, 3400) // northern highway junction
+		exitS    = hotpaths.Pt(6200, 600)  // southern coastal road
+	)
+
+	sys, err := hotpaths.New(hotpaths.Config{
+		Eps:    30,
+		W:      120, // a short window: authorities care about the last "hour"
+		Epoch:  10,
+		K:      2,
+		Bounds: hotpaths.Rect{Min: hotpaths.Pt(0, 0), Max: hotpaths.Pt(8000, 4000)},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	const residents = 60
+	type resident struct {
+		id      int
+		from    hotpaths.Point
+		depart  int64
+		jitter  float64
+		northOK bool // originally preferred exit
+	}
+	var people []resident
+	for i := 0; i < residents; i++ {
+		from := villageA
+		if i%2 == 1 {
+			from = villageB
+		}
+		people = append(people, resident{
+			id:      i,
+			from:    from,
+			depart:  int64(rng.Intn(80)),
+			jitter:  rng.Float64()*40 - 20,
+			northOK: from == villageA, // northerners prefer the north exit
+		})
+	}
+
+	const speed = 16.0
+	const fireCutsNorth = int64(200) // the northern route becomes impassable
+
+	report := func(now int64) {
+		top := sys.TopK()
+		fmt.Printf("t=%3d | ", now)
+		if len(top) == 0 {
+			fmt.Println("no hot escape routes in window")
+			return
+		}
+		for i, hp := range top {
+			dirN := math.Abs(hp.End.Y-exitN.Y) < math.Abs(hp.End.Y-exitS.Y)
+			name := "south"
+			if dirN {
+				name = "north"
+			}
+			if i > 0 {
+				fmt.Print(" ; ")
+			}
+			fmt.Printf("#%d %s route (%.0f,%.0f)->(%.0f,%.0f) hotness=%d",
+				i+1, name, hp.Start.X, hp.Start.Y, hp.End.X, hp.End.Y, hp.Hotness)
+		}
+		fmt.Println()
+	}
+
+	for now := int64(1); now <= 400; now++ {
+		for _, p := range people {
+			step := now - p.depart
+			if step < 1 {
+				continue
+			}
+			target := exitS
+			if p.northOK && now < fireCutsNorth {
+				target = exitN
+			}
+			dx, dy := target.X-p.from.X, target.Y-p.from.Y
+			total := math.Hypot(dx, dy)
+			done := float64(step) * speed
+			if done >= total+30*speed {
+				continue // long safe; phone stops mattering
+			}
+			if done > total {
+				done = total // waiting at the exit — the stop flushes the route
+			}
+			frac := done / total
+			px, py := -dy/total, dx/total
+			x := p.from.X + dx*frac + px*p.jitter + rng.Float64()*6 - 3
+			y := p.from.Y + dy*frac + py*p.jitter + rng.Float64()*6 - 3
+			if err := sys.Observe(p.id, x, y, now); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := sys.Tick(now); err != nil {
+			log.Fatal(err)
+		}
+		if now%50 == 0 {
+			report(now)
+		}
+	}
+
+	fmt.Println("\nfinal hot escape routes:")
+	for i, hp := range sys.TopK() {
+		fmt.Printf("%d. (%.0f,%.0f) -> (%.0f,%.0f)  hotness=%d  length=%.0fm\n",
+			i+1, hp.Start.X, hp.Start.Y, hp.End.X, hp.End.Y, hp.Hotness, hp.Length())
+	}
+	st := sys.Stats()
+	fmt.Printf("\n%d observations compressed into %d reports; %d paths expired from the window\n",
+		st.Observations, st.Reports, st.PathsExpired)
+}

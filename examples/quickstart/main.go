@@ -1,0 +1,86 @@
+// Quickstart: feed a stream of object positions into a hotpaths.System and
+// read back the hottest motion paths.
+//
+// Thirty commuters drive the same two-leg route (east, then north) with
+// small lateral offsets and staggered departures; the system consolidates
+// their trajectories into a handful of shared motion paths whose hotness
+// counts the commuters that crossed them within the sliding window.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hotpaths"
+)
+
+func main() {
+	sys, err := hotpaths.New(hotpaths.Config{
+		Eps:    15,  // metres: how much trajectories may deviate and still share a path
+		W:      300, // timestamps: crossings older than this stop counting
+		Epoch:  10,  // coordinator cadence
+		K:      5,   // how many hot paths to report
+		Bounds: hotpaths.Rect{Min: hotpaths.Pt(-100, -100), Max: hotpaths.Pt(2000, 2000)},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	const (
+		commuters = 30
+		legLen    = 100 // steps per leg
+		speed     = 8.0 // metres per step
+	)
+	depart := make([]int64, commuters)
+	offset := make([]float64, commuters)
+	for i := range depart {
+		depart[i] = int64(rng.Intn(40))
+		offset[i] = rng.Float64()*10 - 5
+	}
+
+	for now := int64(1); now <= 300; now++ {
+		for id := 0; id < commuters; id++ {
+			step := now - depart[id]
+			if step < 1 || step > 2*legLen+30 {
+				continue // not on the road yet / phone gone quiet after arrival
+			}
+			var x, y float64
+			switch {
+			case step <= legLen:
+				x, y = float64(step)*speed, offset[id] // east leg
+			case step <= 2*legLen:
+				x, y = float64(legLen)*speed, offset[id]+float64(step-legLen)*speed // north leg
+			default:
+				// Parked at the destination; the stop is a velocity change the
+				// safe area cannot absorb, which flushes the final leg.
+				x, y = float64(legLen)*speed, offset[id]+float64(legLen)*speed
+			}
+			// A metre of GPS jitter.
+			x += rng.Float64()*2 - 1
+			y += rng.Float64()*2 - 1
+			if err := sys.Observe(id, x, y, now); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := sys.Tick(now); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	st := sys.Stats()
+	fmt.Printf("observations: %d, reports to coordinator: %d (%.1f%% suppressed by RayTrace)\n",
+		st.Observations, st.Reports,
+		100*(1-float64(st.Reports)/float64(st.Observations)))
+	fmt.Printf("motion paths stored: %d\n\n", st.IndexSize)
+
+	fmt.Println("top hot motion paths (hotness = commuters crossing within the window):")
+	for i, hp := range sys.TopK() {
+		fmt.Printf("%d. (%.0f,%.0f) -> (%.0f,%.0f)  hotness=%d  length=%.0fm  score=%.0f\n",
+			i+1, hp.Start.X, hp.Start.Y, hp.End.X, hp.End.Y,
+			hp.Hotness, hp.Length(), hp.Score())
+	}
+}

@@ -1,0 +1,292 @@
+// Package hotpaths discovers hot motion paths — routes recently followed by
+// many moving objects — from streams of imprecise location updates, as
+// described in "On-Line Discovery of Hot Motion Paths" (Sacharidis et al.,
+// EDBT 2008).
+//
+// The package exposes the paper's two-tier architecture as an in-process
+// streaming System: each observed object runs a RayTrace filter that
+// suppresses location updates inside an adaptive spatiotemporal safe area,
+// and a coordinator runs the SinglePath strategy over the reported states,
+// maintaining motion paths and their hotness over a sliding time window.
+//
+// Basic use:
+//
+//	sys, _ := hotpaths.New(hotpaths.Config{
+//		Eps:    10,                           // tolerance, metres
+//		W:      100,                          // window, timestamps
+//		Epoch:  10,                           // coordinator cadence
+//		K:      10,                           // top-k to report
+//		Bounds: hotpaths.Rect{Max: hotpaths.Pt(16000, 16000)},
+//	})
+//	for t := int64(1); t <= horizon; t++ {
+//		for _, obs := range observationsAt(t) {
+//			sys.Observe(obs.Object, obs.X, obs.Y, t)
+//		}
+//		sys.Tick(t) // advance window; process batch at epoch boundaries
+//	}
+//	for _, hp := range sys.TopK() {
+//		fmt.Println(hp.Start, "->", hp.End, "hotness", hp.Hotness)
+//	}
+//
+// The full distributed simulation used by the paper's evaluation (road
+// network, moving-object workload, DP baseline, figure sweeps) lives in the
+// internal packages and is driven by the cmd/ tools and the benchmark
+// suite.
+package hotpaths
+
+import (
+	"fmt"
+
+	"hotpaths/internal/coordinator"
+	"hotpaths/internal/geom"
+	"hotpaths/internal/motion"
+	"hotpaths/internal/raytrace"
+	"hotpaths/internal/trajectory"
+	"hotpaths/internal/uncertainty"
+)
+
+// Point is a location in the plane, in metres.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Rect is an axis-aligned rectangle given by its Min and Max corners.
+type Rect struct {
+	Min, Max Point
+}
+
+// HotPath is a discovered motion path with its current hotness.
+type HotPath struct {
+	ID      uint64
+	Start   Point
+	End     Point
+	Hotness int
+}
+
+// Length returns the path's Euclidean length.
+func (hp HotPath) Length() float64 {
+	return geom.Pt(hp.Start.X, hp.Start.Y).Dist(geom.Pt(hp.End.X, hp.End.Y))
+}
+
+// Score is the paper's quality metric: hotness × length.
+func (hp HotPath) Score() float64 { return float64(hp.Hotness) * hp.Length() }
+
+// Config parameterises a System.
+type Config struct {
+	// Eps is the tolerance ε in metres (required, positive): discovered
+	// paths stay within Eps of the objects that cross them.
+	Eps float64
+
+	// Delta, when positive, enables the (ε,δ) uncertainty model: observations
+	// are treated as Gaussian with the per-observation standard deviations
+	// passed to ObserveNoisy, and proximity holds with probability ≥ 1−δ.
+	Delta float64
+
+	// W is the sliding window length in timestamps (required, positive):
+	// crossings older than W no longer count toward hotness.
+	W int64
+
+	// Epoch is the coordinator cadence Λ in timestamps (required, positive):
+	// reported objects receive their new safe-area seed at the next multiple
+	// of Epoch, mirroring the paper's epoch-based communication.
+	Epoch int64
+
+	// K is the top-k size for TopK (default 10).
+	K int
+
+	// Bounds is the monitored region used to size the coordinator's grid
+	// index (required, positive area).
+	Bounds Rect
+
+	// GridCols, GridRows control the index resolution (default 64×64).
+	GridCols, GridRows int
+}
+
+// Stats aggregates a System's lifetime counters.
+type Stats struct {
+	Observations int // measurements fed via Observe/ObserveNoisy
+	Reports      int // state messages the filters raised
+	Responses    int // endpoints handed back at epoch boundaries
+	PathsCreated int
+	PathsExpired int
+	Crossings    int
+	IndexSize    int // currently stored motion paths
+}
+
+// System is an in-process deployment of the paper's architecture: the
+// per-object RayTrace filters plus the SinglePath coordinator. It is not
+// safe for concurrent use; drive it from a single goroutine.
+type System struct {
+	cfg     Config
+	coord   *coordinator.Coordinator
+	filters map[int]*raytrace.Filter
+	pending []coordinator.Report
+	stats   Stats
+	lastNow int64
+}
+
+// New validates cfg and creates an empty System.
+func New(cfg Config) (*System, error) {
+	if cfg.Eps <= 0 {
+		return nil, fmt.Errorf("hotpaths: Config.Eps must be positive, got %v", cfg.Eps)
+	}
+	if cfg.Delta < 0 || cfg.Delta >= 1 {
+		return nil, fmt.Errorf("hotpaths: Config.Delta must be in [0,1), got %v", cfg.Delta)
+	}
+	if cfg.W <= 0 {
+		return nil, fmt.Errorf("hotpaths: Config.W must be positive, got %d", cfg.W)
+	}
+	if cfg.Epoch <= 0 {
+		return nil, fmt.Errorf("hotpaths: Config.Epoch must be positive, got %d", cfg.Epoch)
+	}
+	if cfg.K == 0 {
+		cfg.K = 10
+	}
+	bounds := geom.Rect{
+		Lo: geom.Pt(cfg.Bounds.Min.X, cfg.Bounds.Min.Y),
+		Hi: geom.Pt(cfg.Bounds.Max.X, cfg.Bounds.Max.Y),
+	}
+	coord, err := coordinator.New(coordinator.Config{
+		Bounds: bounds,
+		Cols:   cfg.GridCols,
+		Rows:   cfg.GridRows,
+		W:      trajectory.Time(cfg.W),
+		Eps:    cfg.Eps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		cfg:     cfg,
+		coord:   coord,
+		filters: make(map[int]*raytrace.Filter),
+	}, nil
+}
+
+// Observe feeds one location measurement for objectID at timestamp t.
+// Timestamps must be strictly increasing per object. In (ε,δ) mode the
+// measurement is treated as exact; use ObserveNoisy to pass its noise.
+func (s *System) Observe(objectID int, x, y float64, t int64) error {
+	return s.observe(objectID, trajectory.TP(geom.Pt(x, y), trajectory.Time(t)), 0, 0)
+}
+
+// ObserveNoisy feeds a Gaussian measurement with per-axis standard
+// deviations. It requires Config.Delta > 0.
+func (s *System) ObserveNoisy(objectID int, x, y, sigmaX, sigmaY float64, t int64) error {
+	if s.cfg.Delta <= 0 {
+		return fmt.Errorf("hotpaths: ObserveNoisy requires Config.Delta > 0")
+	}
+	if sigmaX <= 0 || sigmaY <= 0 {
+		return fmt.Errorf("hotpaths: standard deviations must be positive")
+	}
+	return s.observe(objectID, trajectory.TP(geom.Pt(x, y), trajectory.Time(t)), sigmaX, sigmaY)
+}
+
+func (s *System) observe(objectID int, tp trajectory.TimePoint, sigmaX, sigmaY float64) error {
+	s.stats.Observations++
+	f, ok := s.filters[objectID]
+	if !ok {
+		s.filters[objectID] = raytrace.NewWithTolerance(tp, s.toleranceFunc(sigmaX, sigmaY))
+		return nil
+	}
+	st, report, err := f.Process(tp)
+	if err != nil {
+		return fmt.Errorf("hotpaths: object %d: %w", objectID, err)
+	}
+	if report {
+		s.enqueue(objectID, st)
+	}
+	return nil
+}
+
+// toleranceFunc builds the per-point tolerance model: the fixed ε square,
+// or the Gaussian (ε,δ) rectangle when Delta and sigmas are set. The
+// retroactive minimum of ε/10 guards against unsatisfiable noise levels.
+func (s *System) toleranceFunc(sigmaX, sigmaY float64) raytrace.ToleranceFunc {
+	if s.cfg.Delta <= 0 || sigmaX <= 0 || sigmaY <= 0 {
+		return raytrace.FixedTolerance(s.cfg.Eps)
+	}
+	eps, delta := s.cfg.Eps, s.cfg.Delta
+	return func(tp trajectory.TimePoint) geom.Rect {
+		m := uncertainty.Measurement{Mean: tp.P, SigmaX: sigmaX, SigmaY: sigmaY}
+		return uncertainty.ToleranceRectOrMin(m, eps, delta, eps/10)
+	}
+}
+
+func (s *System) enqueue(objectID int, st raytrace.State) {
+	s.pending = append(s.pending, coordinator.Report{ObjectID: objectID, State: st})
+	s.stats.Reports++
+}
+
+// Tick advances the system clock to now: the hotness window slides, and at
+// epoch boundaries (now divisible by Config.Epoch) the coordinator
+// processes all pending reports and re-seeds the reporting filters. Call it
+// exactly once per timestamp, after that timestamp's Observes.
+func (s *System) Tick(now int64) error {
+	if now <= s.lastNow {
+		return fmt.Errorf("hotpaths: Tick(%d) after Tick(%d); time must advance", now, s.lastNow)
+	}
+	s.lastNow = now
+	s.coord.Advance(trajectory.Time(now))
+	if now%s.cfg.Epoch != 0 {
+		return nil
+	}
+	batch := s.pending
+	s.pending = nil
+	resps, err := s.coord.ProcessEpoch(batch)
+	if err != nil {
+		return err
+	}
+	for _, r := range resps {
+		s.stats.Responses++
+		st, report, err := s.filters[r.ObjectID].Respond(r.End)
+		if err != nil {
+			return fmt.Errorf("hotpaths: respond to object %d: %w", r.ObjectID, err)
+		}
+		if report {
+			s.enqueue(r.ObjectID, st)
+		}
+	}
+	return nil
+}
+
+// TopK returns the Config.K hottest motion paths, hottest first.
+func (s *System) TopK() []HotPath {
+	return convert(s.coord.TopK(s.cfg.K))
+}
+
+// HotPaths returns every live motion path, hottest first.
+func (s *System) HotPaths() []HotPath {
+	return convert(s.coord.AllPaths())
+}
+
+// Score returns the paper's quality metric over the current top-k set: the
+// average hotness×length.
+func (s *System) Score() float64 { return s.coord.Score(s.cfg.K) }
+
+// Stats returns the system's counters.
+func (s *System) Stats() Stats {
+	cs := s.coord.Stats()
+	out := s.stats
+	out.PathsCreated = cs.PathsCreated
+	out.PathsExpired = cs.PathsExpired
+	out.Crossings = cs.Crossings
+	out.IndexSize = s.coord.IndexSize()
+	return out
+}
+
+func convert(in []motion.HotPath) []HotPath {
+	out := make([]HotPath, len(in))
+	for i, hp := range in {
+		out[i] = HotPath{
+			ID:      uint64(hp.Path.ID),
+			Start:   Point{hp.Path.S.X, hp.Path.S.Y},
+			End:     Point{hp.Path.E.X, hp.Path.E.Y},
+			Hotness: hp.Hotness,
+		}
+	}
+	return out
+}

@@ -1,0 +1,281 @@
+// Package cluster implements a moving-cluster detector in the style of
+// Kalnis, Mamoulis & Bakiras (SSTD 2005), the closest related work the
+// paper contrasts itself against (Section 2).
+//
+// A snapshot cluster is a maximal set of at least MinPts objects whose
+// proximity graph (edges between objects within distance R) is connected at
+// one timestamp. A moving cluster is a chain of snapshot clusters at
+// consecutive observation timestamps whose member sets keep a Jaccard
+// similarity of at least Theta; the chain counts once it survives at least
+// MinDuration time units.
+//
+// The detector exists to validate the paper's differentiation claim: a
+// motion path becomes hot when many objects cross it within the window —
+// even if they do so minutes apart — whereas a moving cluster additionally
+// requires the objects to travel TOGETHER. The experiment suite constructs
+// asynchronous flows where hot paths exist but no moving cluster ever
+// forms.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hotpaths/internal/geom"
+	"hotpaths/internal/trajectory"
+)
+
+// Config parameterises the detector.
+type Config struct {
+	R           float64         // proximity radius for snapshot clustering
+	MinPts      int             // minimum snapshot-cluster size
+	Theta       float64         // Jaccard continuity threshold in (0,1]
+	MinDuration trajectory.Time // minimum chain lifetime to count
+}
+
+// MovingCluster is a (finished or active) chain of snapshot clusters.
+type MovingCluster struct {
+	Start, End trajectory.Time
+	// Members is the union of object ids that ever belonged to the chain
+	// (moving clusters may change membership over time).
+	Members map[int]struct{}
+	// Trail is the per-snapshot centroid sequence.
+	Trail []geom.Point
+}
+
+// Duration returns End−Start.
+func (mc *MovingCluster) Duration() trajectory.Time { return mc.End - mc.Start }
+
+type chain struct {
+	mc      MovingCluster
+	current map[int]struct{} // member set at the latest snapshot
+}
+
+// Detector consumes per-timestamp position snapshots.
+type Detector struct {
+	cfg      Config
+	chains   []*chain
+	finished []MovingCluster
+	lastT    trajectory.Time
+	primed   bool
+}
+
+// New validates cfg and returns an empty detector.
+func New(cfg Config) (*Detector, error) {
+	if cfg.R <= 0 {
+		return nil, fmt.Errorf("cluster: R must be positive, got %v", cfg.R)
+	}
+	if cfg.MinPts < 2 {
+		return nil, fmt.Errorf("cluster: MinPts must be at least 2, got %d", cfg.MinPts)
+	}
+	if cfg.Theta <= 0 || cfg.Theta > 1 {
+		return nil, fmt.Errorf("cluster: Theta must be in (0,1], got %v", cfg.Theta)
+	}
+	if cfg.MinDuration < 0 {
+		return nil, fmt.Errorf("cluster: MinDuration must be non-negative, got %d", cfg.MinDuration)
+	}
+	return &Detector{cfg: cfg}, nil
+}
+
+// Observe processes the positions of all observable objects at timestamp
+// now. Timestamps must be strictly increasing.
+func (d *Detector) Observe(now trajectory.Time, positions map[int]geom.Point) error {
+	if d.primed && now <= d.lastT {
+		return fmt.Errorf("cluster: non-increasing timestamp %d after %d", now, d.lastT)
+	}
+	d.primed = true
+	d.lastT = now
+
+	snaps := snapshotClusters(positions, d.cfg.R, d.cfg.MinPts)
+
+	// Greedy one-to-one matching between active chains and snapshot
+	// clusters by Jaccard similarity, best matches first.
+	type cand struct {
+		chainIdx, snapIdx int
+		sim               float64
+	}
+	var cands []cand
+	for ci, ch := range d.chains {
+		for si, sc := range snaps {
+			if sim := jaccard(ch.current, sc.members); sim >= d.cfg.Theta {
+				cands = append(cands, cand{ci, si, sim})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].sim != cands[j].sim {
+			return cands[i].sim > cands[j].sim
+		}
+		if cands[i].chainIdx != cands[j].chainIdx {
+			return cands[i].chainIdx < cands[j].chainIdx
+		}
+		return cands[i].snapIdx < cands[j].snapIdx
+	})
+	chainTaken := make([]bool, len(d.chains))
+	snapTaken := make([]bool, len(snaps))
+	for _, c := range cands {
+		if chainTaken[c.chainIdx] || snapTaken[c.snapIdx] {
+			continue
+		}
+		chainTaken[c.chainIdx] = true
+		snapTaken[c.snapIdx] = true
+		ch := d.chains[c.chainIdx]
+		sc := snaps[c.snapIdx]
+		ch.mc.End = now
+		ch.mc.Trail = append(ch.mc.Trail, sc.centroid)
+		for id := range sc.members {
+			ch.mc.Members[id] = struct{}{}
+		}
+		ch.current = sc.members
+	}
+
+	// Unmatched chains terminate; keep those that lived long enough.
+	var alive []*chain
+	for i, ch := range d.chains {
+		if chainTaken[i] {
+			alive = append(alive, ch)
+			continue
+		}
+		if ch.mc.Duration() >= d.cfg.MinDuration {
+			d.finished = append(d.finished, ch.mc)
+		}
+	}
+	// Unmatched snapshot clusters start new chains.
+	for i, sc := range snaps {
+		if snapTaken[i] {
+			continue
+		}
+		members := make(map[int]struct{}, len(sc.members))
+		for id := range sc.members {
+			members[id] = struct{}{}
+		}
+		alive = append(alive, &chain{
+			mc: MovingCluster{
+				Start:   now,
+				End:     now,
+				Members: members,
+				Trail:   []geom.Point{sc.centroid},
+			},
+			current: sc.members,
+		})
+	}
+	d.chains = alive
+	return nil
+}
+
+// Active returns the chains currently alive that already satisfy
+// MinDuration.
+func (d *Detector) Active() []MovingCluster {
+	var out []MovingCluster
+	for _, ch := range d.chains {
+		if ch.mc.Duration() >= d.cfg.MinDuration {
+			out = append(out, ch.mc)
+		}
+	}
+	return out
+}
+
+// Finished returns terminated moving clusters that satisfied MinDuration.
+func (d *Detector) Finished() []MovingCluster { return d.finished }
+
+// Close terminates all chains (end of stream) and returns every qualifying
+// moving cluster, finished and active.
+func (d *Detector) Close() []MovingCluster {
+	for _, ch := range d.chains {
+		if ch.mc.Duration() >= d.cfg.MinDuration {
+			d.finished = append(d.finished, ch.mc)
+		}
+	}
+	d.chains = nil
+	return d.finished
+}
+
+type snapCluster struct {
+	members  map[int]struct{}
+	centroid geom.Point
+}
+
+// snapshotClusters computes connected components of the proximity graph
+// using a uniform grid of cell size R: objects within distance R (L2) are
+// connected, components smaller than minPts are discarded.
+func snapshotClusters(positions map[int]geom.Point, r float64, minPts int) []snapCluster {
+	if len(positions) == 0 {
+		return nil
+	}
+	ids := make([]int, 0, len(positions))
+	for id := range positions {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids) // determinism
+
+	cell := func(p geom.Point) [2]int {
+		return [2]int{int(math.Floor(p.X / r)), int(math.Floor(p.Y / r))}
+	}
+	buckets := make(map[[2]int][]int)
+	for _, id := range ids {
+		c := cell(positions[id])
+		buckets[c] = append(buckets[c], id)
+	}
+
+	visited := make(map[int]bool, len(ids))
+	var out []snapCluster
+	for _, seed := range ids {
+		if visited[seed] {
+			continue
+		}
+		// BFS over the proximity graph.
+		comp := []int{seed}
+		visited[seed] = true
+		for head := 0; head < len(comp); head++ {
+			p := positions[comp[head]]
+			c := cell(p)
+			for dx := -1; dx <= 1; dx++ {
+				for dy := -1; dy <= 1; dy++ {
+					for _, other := range buckets[[2]int{c[0] + dx, c[1] + dy}] {
+						if visited[other] {
+							continue
+						}
+						if p.Dist(positions[other]) <= r {
+							visited[other] = true
+							comp = append(comp, other)
+						}
+					}
+				}
+			}
+		}
+		if len(comp) < minPts {
+			continue
+		}
+		members := make(map[int]struct{}, len(comp))
+		var cx, cy float64
+		for _, id := range comp {
+			members[id] = struct{}{}
+			cx += positions[id].X
+			cy += positions[id].Y
+		}
+		out = append(out, snapCluster{
+			members:  members,
+			centroid: geom.Pt(cx/float64(len(comp)), cy/float64(len(comp))),
+		})
+	}
+	return out
+}
+
+func jaccard(a, b map[int]struct{}) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	small, big := a, b
+	if len(small) > len(big) {
+		small, big = big, small
+	}
+	inter := 0
+	for id := range small {
+		if _, ok := big[id]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,220 @@
+package cluster
+
+import (
+	"testing"
+
+	"hotpaths/internal/geom"
+	"hotpaths/internal/trajectory"
+)
+
+func cfg() Config {
+	return Config{R: 10, MinPts: 3, Theta: 0.5, MinDuration: 5}
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{R: 0, MinPts: 3, Theta: 0.5},
+		{R: 10, MinPts: 1, Theta: 0.5},
+		{R: 10, MinPts: 3, Theta: 0},
+		{R: 10, MinPts: 3, Theta: 1.5},
+		{R: 10, MinPts: 3, Theta: 0.5, MinDuration: -1},
+	}
+	for i, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Errorf("case %d must error", i)
+		}
+	}
+	if _, err := New(cfg()); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestObserveTimestampValidation(t *testing.T) {
+	d, _ := New(cfg())
+	if err := d.Observe(5, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Observe(5, nil); err == nil {
+		t.Error("repeated timestamp must error")
+	}
+}
+
+// A convoy of 5 objects moving together forms one moving cluster spanning
+// the whole run.
+func TestConvoyDetected(t *testing.T) {
+	d, _ := New(cfg())
+	for now := trajectory.Time(0); now <= 20; now++ {
+		pos := make(map[int]geom.Point)
+		base := float64(now) * 8
+		for id := 0; id < 5; id++ {
+			pos[id] = geom.Pt(base+float64(id)*3, float64(id%2)*3)
+		}
+		if err := d.Observe(now, pos); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mcs := d.Close()
+	if len(mcs) != 1 {
+		t.Fatalf("moving clusters = %d want 1", len(mcs))
+	}
+	mc := mcs[0]
+	if mc.Start != 0 || mc.End != 20 {
+		t.Errorf("span [%d,%d]", mc.Start, mc.End)
+	}
+	if len(mc.Members) != 5 {
+		t.Errorf("members = %d", len(mc.Members))
+	}
+	if len(mc.Trail) != 21 {
+		t.Errorf("trail length = %d", len(mc.Trail))
+	}
+}
+
+// Clusters below MinPts never register.
+func TestSmallGroupsIgnored(t *testing.T) {
+	d, _ := New(cfg()) // MinPts 3
+	for now := trajectory.Time(0); now <= 20; now++ {
+		pos := map[int]geom.Point{
+			0: geom.Pt(float64(now)*5, 0),
+			1: geom.Pt(float64(now)*5+3, 0),
+			// A third object, far away.
+			2: geom.Pt(float64(now)*5, 500),
+		}
+		if err := d.Observe(now, pos); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mcs := d.Close(); len(mcs) != 0 {
+		t.Errorf("pairs must not form clusters: %d", len(mcs))
+	}
+}
+
+// Short-lived gatherings below MinDuration are dropped.
+func TestMinDuration(t *testing.T) {
+	d, _ := New(cfg()) // MinDuration 5
+	for now := trajectory.Time(0); now <= 2; now++ {
+		pos := map[int]geom.Point{
+			0: geom.Pt(0, 0), 1: geom.Pt(3, 0), 2: geom.Pt(0, 3),
+		}
+		if err := d.Observe(now, pos); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Disperse.
+	for now := trajectory.Time(3); now <= 10; now++ {
+		pos := map[int]geom.Point{
+			0: geom.Pt(0, 0), 1: geom.Pt(300, 0), 2: geom.Pt(0, 300),
+		}
+		if err := d.Observe(now, pos); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mcs := d.Close(); len(mcs) != 0 {
+		t.Errorf("2-tick gathering must not count: %d", len(mcs))
+	}
+}
+
+// Membership may drift: the chain survives while Jaccard stays above Theta,
+// and the union of members is recorded.
+func TestMembershipDrift(t *testing.T) {
+	d, _ := New(Config{R: 10, MinPts: 3, Theta: 0.4, MinDuration: 3})
+	members := [][]int{
+		{0, 1, 2, 3}, {0, 1, 2, 3}, {1, 2, 3, 4}, {1, 2, 3, 4}, {2, 3, 4, 5},
+	}
+	for now, ms := range members {
+		pos := make(map[int]geom.Point)
+		base := float64(now) * 6
+		for i, id := range ms {
+			pos[id] = geom.Pt(base+float64(i)*3, 0)
+		}
+		if err := d.Observe(trajectory.Time(now), pos); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mcs := d.Close()
+	if len(mcs) != 1 {
+		t.Fatalf("clusters = %d want 1", len(mcs))
+	}
+	if len(mcs[0].Members) != 6 {
+		t.Errorf("union membership = %d want 6", len(mcs[0].Members))
+	}
+}
+
+// A split into two far groups ends the chain (at most one successor match).
+func TestSplitTerminatesOneBranch(t *testing.T) {
+	d, _ := New(Config{R: 10, MinPts: 3, Theta: 0.5, MinDuration: 2})
+	// 6 objects together for 5 ticks.
+	for now := trajectory.Time(0); now < 5; now++ {
+		pos := make(map[int]geom.Point)
+		for id := 0; id < 6; id++ {
+			pos[id] = geom.Pt(float64(now)*5+float64(id)*2, 0)
+		}
+		d.Observe(now, pos)
+	}
+	// Then they split into two trios far apart; Jaccard with the old set is
+	// 3/6 = 0.5 ≥ Theta for each, but only one can extend the chain.
+	for now := trajectory.Time(5); now < 10; now++ {
+		pos := make(map[int]geom.Point)
+		for id := 0; id < 3; id++ {
+			pos[id] = geom.Pt(float64(now)*5+float64(id)*2, 0)
+		}
+		for id := 3; id < 6; id++ {
+			pos[id] = geom.Pt(float64(now)*5+float64(id)*2, 1000)
+		}
+		d.Observe(now, pos)
+	}
+	mcs := d.Close()
+	// One long chain (original extended by a trio) and one fresh trio chain.
+	if len(mcs) != 2 {
+		t.Fatalf("clusters = %d want 2", len(mcs))
+	}
+}
+
+func TestActiveVsFinished(t *testing.T) {
+	d, _ := New(Config{R: 10, MinPts: 3, Theta: 0.5, MinDuration: 2})
+	for now := trajectory.Time(0); now <= 4; now++ {
+		pos := map[int]geom.Point{
+			0: geom.Pt(0, 0), 1: geom.Pt(3, 0), 2: geom.Pt(0, 3),
+		}
+		d.Observe(now, pos)
+	}
+	if len(d.Active()) != 1 {
+		t.Errorf("active = %d", len(d.Active()))
+	}
+	if len(d.Finished()) != 0 {
+		t.Errorf("finished = %d", len(d.Finished()))
+	}
+	// Disperse: chain terminates into finished.
+	d.Observe(5, map[int]geom.Point{0: geom.Pt(0, 0), 1: geom.Pt(500, 0), 2: geom.Pt(0, 500)})
+	if len(d.Finished()) != 1 {
+		t.Errorf("finished after dispersal = %d", len(d.Finished()))
+	}
+}
+
+// The paper's differentiation claim (Section 2): objects crossing the same
+// route ASYNCHRONOUSLY share a hot motion path but never form a moving
+// cluster. See internal/experiment for the end-to-end version against the
+// real pipeline; here we verify the detector half directly.
+func TestAsynchronousFlowFormsNoCluster(t *testing.T) {
+	d, _ := New(Config{R: 20, MinPts: 2, Theta: 0.5, MinDuration: 2})
+	// 10 objects traverse the same 400 m route one after another, 60 ts
+	// apart, at 10 m/ts: no two are ever within 20 m simultaneously.
+	const spacing = 60
+	for now := trajectory.Time(0); now <= 12*spacing; now++ {
+		pos := make(map[int]geom.Point)
+		for id := 0; id < 10; id++ {
+			step := int64(now) - int64(id*spacing)
+			if step < 0 || step > 40 {
+				continue
+			}
+			pos[id] = geom.Pt(float64(step)*10, 0)
+		}
+		if len(pos) > 0 {
+			if err := d.Observe(now, pos); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if mcs := d.Close(); len(mcs) != 0 {
+		t.Errorf("asynchronous flow produced %d moving clusters; want 0", len(mcs))
+	}
+}

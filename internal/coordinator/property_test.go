@@ -1,0 +1,156 @@
+package coordinator
+
+import (
+	"math/rand"
+	"testing"
+
+	"hotpaths/internal/geom"
+	"hotpaths/internal/motion"
+	"hotpaths/internal/raytrace"
+	"hotpaths/internal/trajectory"
+)
+
+// Randomised batch property test: across many epochs of random reports,
+// the coordinator must keep its core invariants —
+//
+//  1. every response endpoint lies inside the reporting FSA and carries the
+//     reported te;
+//  2. the index holds exactly the paths with positive hotness;
+//  3. total live hotness equals crossings minus expirations;
+//  4. after quiescence of W, everything expires.
+func TestCoordinatorRandomBatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	const (
+		W   = 60
+		eps = 10.0
+	)
+	c, err := New(Config{
+		Bounds: geom.Rect{Lo: geom.Pt(0, 0), Hi: geom.Pt(2000, 2000)},
+		W:      W,
+		Eps:    eps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Per-object chaining state: the next report must start where the last
+	// response ended (mirroring the filter contract).
+	type chainState struct {
+		s  geom.Point
+		ts trajectory.Time
+	}
+	chains := map[int]chainState{}
+	now := trajectory.Time(0)
+	totalCrossings := 0
+
+	for epoch := 0; epoch < 60; epoch++ {
+		now += 10
+		batchSize := 1 + rng.Intn(20)
+		var reports []Report
+		var fsas []geom.Rect
+		for i := 0; i < batchSize; i++ {
+			obj := rng.Intn(30)
+			ch, ok := chains[obj]
+			if !ok {
+				ch = chainState{
+					s:  geom.Pt(rng.Float64()*1800+100, rng.Float64()*1800+100),
+					ts: now - trajectory.Time(1+rng.Intn(9)),
+				}
+			}
+			// FSA somewhere within reach of the start, sized like a
+			// realistic sliver-to-square range.
+			ctr := ch.s.Add(geom.Pt(rng.Float64()*80-40, rng.Float64()*80-40))
+			half := 0.5 + rng.Float64()*eps
+			fsa := geom.RectAround(ctr, half)
+			reports = append(reports, Report{
+				ObjectID: obj,
+				State:    raytrace.State{Start: ch.s, Ts: ch.ts, FSA: fsa, Te: now},
+			})
+			fsas = append(fsas, fsa)
+		}
+		resps, err := c.ProcessEpoch(reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resps) != len(reports) {
+			t.Fatalf("got %d responses for %d reports", len(resps), len(reports))
+		}
+		for i, r := range resps {
+			if !fsas[i].Contains(r.End.P) {
+				t.Fatalf("epoch %d: endpoint %v outside FSA %v", epoch, r.End.P, fsas[i])
+			}
+			if r.End.T != now {
+				t.Fatalf("epoch %d: endpoint timestamp %d want %d", epoch, r.End.T, now)
+			}
+			if r.Case < 1 || r.Case > 3 {
+				t.Fatalf("bad case %d", r.Case)
+			}
+			totalCrossings++
+			chains[reports[i].ObjectID] = chainState{s: r.End.P, ts: now}
+		}
+		c.Advance(now)
+
+		// Invariant 2+3: index contents match hotness table.
+		live := 0
+		liveHot := 0
+		for _, hp := range c.AllPaths() {
+			if hp.Hotness <= 0 {
+				t.Fatal("stored path with non-positive hotness")
+			}
+			live++
+			liveHot += hp.Hotness
+		}
+		if live != c.IndexSize() {
+			t.Fatalf("AllPaths %d vs IndexSize %d", live, c.IndexSize())
+		}
+		if liveHot > totalCrossings {
+			t.Fatalf("live hotness %d exceeds crossings %d", liveHot, totalCrossings)
+		}
+	}
+
+	// Invariant 4: quiescence drains everything.
+	c.Advance(now + W + 1)
+	if c.IndexSize() != 0 {
+		t.Errorf("index size = %d after full window of quiescence", c.IndexSize())
+	}
+	st := c.Stats()
+	if st.PathsExpired != st.PathsCreated {
+		t.Errorf("expired %d != created %d after drain", st.PathsExpired, st.PathsCreated)
+	}
+	if st.Crossings != totalCrossings {
+		t.Errorf("crossings %d want %d", st.Crossings, totalCrossings)
+	}
+}
+
+// TopK must agree with a brute-force sort of AllPaths.
+func TestTopKMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	c := mustCoord(t, testConfig())
+	for i := 0; i < 200; i++ {
+		s := geom.Pt(rng.Float64()*900, rng.Float64()*900)
+		fsa := geom.RectAround(s.Add(geom.Pt(50, 0)), 5)
+		if _, err := c.ProcessEpoch([]Report{report(i, s, fsa, trajectory.Time(i), trajectory.Time(i+5))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := c.AllPaths()
+	top := c.TopK(10)
+	if len(top) != 10 {
+		t.Fatalf("topk = %d", len(top))
+	}
+	// No path outside the top-k may beat the last one inside.
+	worst := top[len(top)-1]
+	inTop := make(map[motion.PathID]bool)
+	for _, hp := range top {
+		inTop[hp.Path.ID] = true
+	}
+	for _, hp := range all {
+		if inTop[hp.Path.ID] {
+			continue
+		}
+		if hp.Hotness > worst.Hotness {
+			t.Fatalf("path %d (hotness %d) should be in top-k over %d (hotness %d)",
+				hp.Path.ID, hp.Hotness, worst.Path.ID, worst.Hotness)
+		}
+	}
+}

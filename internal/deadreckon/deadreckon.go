@@ -1,0 +1,101 @@
+// Package deadreckon implements the classic dead-reckoning location update
+// policy, used as an ablation baseline for RayTrace's communication
+// suppression. The client shares its position and velocity with the server;
+// both extrapolate linearly, and the client sends a fresh update only when
+// its true position drifts more than the threshold away from the shared
+// prediction.
+//
+// Dead reckoning suppresses updates about as well as RayTrace on smooth
+// movement, but its updates carry no safe-area geometry: the server learns
+// WHERE the object is, not WHICH motion path segment summarises the recent
+// trip within a tolerance. It therefore cannot drive hot-path discovery
+// with guarantees — which is exactly the gap RayTrace's state messages fill
+// at a modest per-message byte premium.
+package deadreckon
+
+import (
+	"fmt"
+
+	"hotpaths/internal/geom"
+	"hotpaths/internal/trajectory"
+)
+
+// Update is the message sent to the server: an anchor position, a velocity
+// estimate, and the anchor timestamp.
+type Update struct {
+	P geom.Point
+	V geom.Point // metres per time unit
+	T trajectory.Time
+}
+
+// UpdateBytes is the wire size: position + velocity + timestamp.
+const UpdateBytes = 2*8 + 2*8 + 8
+
+// Filter is the per-object dead-reckoning state. Not safe for concurrent
+// use.
+type Filter struct {
+	eps     float64
+	anchor  geom.Point
+	vel     geom.Point
+	anchorT trajectory.Time
+	lastP   geom.Point
+	lastT   trajectory.Time
+	primed  bool
+	sent    int
+	seen    int
+}
+
+// New returns a filter with the given deviation threshold and initial
+// observation; the initial observation counts as the first update (the
+// server must be seeded).
+func New(initial trajectory.TimePoint, eps float64) (*Filter, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("deadreckon: eps must be positive, got %v", eps)
+	}
+	return &Filter{
+		eps:     eps,
+		anchor:  initial.P,
+		anchorT: initial.T,
+		lastP:   initial.P,
+		lastT:   initial.T,
+		primed:  true,
+		sent:    1,
+	}, nil
+}
+
+// Predicted returns the server-side extrapolated position at time t.
+func (f *Filter) Predicted(t trajectory.Time) geom.Point {
+	dt := float64(t - f.anchorT)
+	return f.anchor.Add(f.vel.Scale(dt))
+}
+
+// Process consumes one observation. It returns an update and true when the
+// deviation from the shared prediction exceeds the threshold; the update
+// re-anchors both sides with a fresh velocity estimate.
+func (f *Filter) Process(tp trajectory.TimePoint) (Update, bool, error) {
+	if !f.primed {
+		return Update{}, false, fmt.Errorf("deadreckon: filter used before initialization")
+	}
+	if tp.T <= f.lastT {
+		return Update{}, false, fmt.Errorf("deadreckon: non-increasing timestamp %d after %d", tp.T, f.lastT)
+	}
+	deviation := f.Predicted(tp.T).Dist(tp.P)
+	// Velocity estimate from the last pair of observations.
+	dt := float64(tp.T - f.lastT)
+	vel := tp.P.Sub(f.lastP).Scale(1 / dt)
+	f.lastP, f.lastT = tp.P, tp.T
+	if deviation <= f.eps {
+		f.seen++
+		return Update{}, false, nil
+	}
+	f.anchor, f.anchorT, f.vel = tp.P, tp.T, vel
+	f.sent++
+	f.seen++
+	return Update{P: tp.P, V: vel, T: tp.T}, true, nil
+}
+
+// Sent returns the number of updates transmitted (including the seed).
+func (f *Filter) Sent() int { return f.sent }
+
+// Seen returns the number of observations processed after the seed.
+func (f *Filter) Seen() int { return f.seen }

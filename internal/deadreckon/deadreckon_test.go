@@ -1,0 +1,174 @@
+package deadreckon
+
+import (
+	"math/rand"
+	"testing"
+
+	"hotpaths/internal/geom"
+	"hotpaths/internal/raytrace"
+	"hotpaths/internal/trajectory"
+)
+
+func tp(x, y float64, t trajectory.Time) trajectory.TimePoint {
+	return trajectory.TP(geom.Pt(x, y), t)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(tp(0, 0, 0), 0); err == nil {
+		t.Error("eps=0 must error")
+	}
+	f, err := New(tp(0, 0, 0), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Sent() != 1 {
+		t.Error("seed update must count")
+	}
+}
+
+func TestTimestampValidation(t *testing.T) {
+	f, _ := New(tp(0, 0, 5), 5)
+	if _, _, err := f.Process(tp(1, 1, 5)); err == nil {
+		t.Error("equal timestamp must error")
+	}
+	var zero Filter
+	if _, _, err := zero.Process(tp(1, 1, 9)); err == nil {
+		t.Error("unprimed filter must error")
+	}
+}
+
+func TestStationaryNeverUpdates(t *testing.T) {
+	f, _ := New(tp(100, 100, 0), 5)
+	for i := 1; i <= 100; i++ {
+		_, send, err := f.Process(tp(100, 100, trajectory.Time(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if send {
+			t.Fatal("stationary object must never update")
+		}
+	}
+	if f.Sent() != 1 {
+		t.Errorf("sent = %d", f.Sent())
+	}
+}
+
+func TestConstantVelocityOneResync(t *testing.T) {
+	// The seed has zero velocity, so the first moves drift past eps once;
+	// after the single re-anchor with the correct velocity no further
+	// updates are needed.
+	f, _ := New(tp(0, 0, 0), 5)
+	updates := 0
+	for i := 1; i <= 200; i++ {
+		_, send, err := f.Process(tp(float64(i)*10, 0, trajectory.Time(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if send {
+			updates++
+		}
+	}
+	if updates != 1 {
+		t.Errorf("constant velocity should need exactly 1 resync, got %d", updates)
+	}
+}
+
+func TestTurnForcesUpdate(t *testing.T) {
+	f, _ := New(tp(0, 0, 0), 5)
+	f.Process(tp(10, 0, 1))
+	f.Process(tp(20, 0, 2)) // resync with velocity (10,0)
+	// Sharp turn.
+	_, send, err := f.Process(tp(20, 20, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !send {
+		t.Error("a sharp turn must trigger an update")
+	}
+}
+
+func TestPredictionTracksWithinEps(t *testing.T) {
+	// Whenever no update is sent, the prediction is within eps by
+	// construction; spot-check the invariant on a noisy walk.
+	rng := rand.New(rand.NewSource(21))
+	f, _ := New(tp(0, 0, 0), 8)
+	x, y := 0.0, 0.0
+	dx, dy := 6.0, 1.0
+	for i := 1; i <= 500; i++ {
+		if rng.Float64() < 0.05 {
+			dx, dy = rng.Float64()*12-6, rng.Float64()*12-6
+		}
+		x += dx + rng.Float64() - 0.5
+		y += dy + rng.Float64() - 0.5
+		now := trajectory.Time(i)
+		_, sent, err := f.Process(tp(x, y, now))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sent {
+			if d := f.Predicted(now).Dist(geom.Pt(x, y)); d > 8 {
+				t.Fatalf("silent deviation %v > eps", d)
+			}
+		} else {
+			if !f.Predicted(now).Eq(geom.Pt(x, y)) {
+				t.Fatal("update must re-anchor the prediction")
+			}
+		}
+	}
+}
+
+// Ablation: on road-like movement both filters suppress the vast majority
+// of points; dead reckoning needs no coordinator round-trips but carries no
+// path geometry. We assert both achieve >80% suppression on a piecewise
+// straight walk and stay within a factor 4 of each other.
+func TestSuppressionComparableToRayTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	const eps = 10.0
+	mkWalk := func() []trajectory.TimePoint {
+		var pts []trajectory.TimePoint
+		x, y := 0.0, 0.0
+		dx, dy := 8.0, 0.0
+		for i := 0; i < 2000; i++ {
+			if rng.Float64() < 0.02 { // occasional turns
+				dx, dy = rng.Float64()*16-8, rng.Float64()*16-8
+			}
+			x += dx + rng.Float64()*2 - 1
+			y += dy + rng.Float64()*2 - 1
+			pts = append(pts, tp(x, y, trajectory.Time(i)))
+		}
+		return pts
+	}
+	pts := mkWalk()
+
+	dr, _ := New(pts[0], eps)
+	for _, p := range pts[1:] {
+		if _, _, err := dr.Process(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt := raytrace.New(pts[0], eps)
+	rtSent := 0
+	for _, p := range pts[1:] {
+		st, report, err := rt.Process(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for report {
+			rtSent++
+			st, report, err = rt.Respond(trajectory.TP(st.FSA.Centroid(), st.Te))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	n := len(pts) - 1
+	drRate := float64(dr.Sent()-1) / float64(n)
+	rtRate := float64(rtSent) / float64(n)
+	if drRate > 0.2 || rtRate > 0.2 {
+		t.Errorf("suppression too weak: DR %.3f, RayTrace %.3f", drRate, rtRate)
+	}
+	ratio := drRate / rtRate
+	if ratio < 0.25 || ratio > 4 {
+		t.Errorf("suppression rates diverge unreasonably: DR %.4f vs RT %.4f", drRate, rtRate)
+	}
+}

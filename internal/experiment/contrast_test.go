@@ -1,0 +1,47 @@
+package experiment
+
+import "testing"
+
+func TestMovingClusterContrastValidation(t *testing.T) {
+	if _, err := MovingClusterContrast(1, 10, 5); err == nil {
+		t.Error("objects<2 must error")
+	}
+	if _, err := MovingClusterContrast(5, 0, 5); err == nil {
+		t.Error("spacing=0 must error")
+	}
+	if _, err := MovingClusterContrast(5, 10, 0); err == nil {
+		t.Error("eps=0 must error")
+	}
+}
+
+// The paper's Section 2 claim, end to end: an asynchronous flow produces a
+// hot motion path (hotness grows with the number of travellers) while the
+// moving-cluster detector finds nothing.
+func TestHotPathsWithoutMovingClusters(t *testing.T) {
+	res, err := MovingClusterContrast(8, 60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MovingClusters != 0 {
+		t.Errorf("moving clusters = %d want 0 (spacing keeps objects apart)", res.MovingClusters)
+	}
+	if res.MaxHotness < 4 {
+		t.Errorf("max hotness = %d; the shared route should accumulate most of the 8 travellers",
+			res.MaxHotness)
+	}
+	if res.PathsStored == 0 {
+		t.Error("no paths stored")
+	}
+}
+
+// Conversely, travellers departing together DO form a moving cluster — the
+// detector is not trivially blind.
+func TestSynchronousFlowFormsCluster(t *testing.T) {
+	res, err := MovingClusterContrast(6, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MovingClusters == 0 {
+		t.Error("near-synchronous travellers should form at least one moving cluster")
+	}
+}

@@ -1,0 +1,158 @@
+// Package gridindex implements the MotionPath index of the paper
+// (Section 5.1): a lightweight uniform grid over the monitored space that
+// indexes the END vertices of stored motion paths.
+//
+// Every cell keeps its entries in a small hash table keyed by path id, as
+// in the paper, giving expected O(1) insertion and deletion. Each entry
+// carries the endpoint coordinates, the path id and the coordinates of the
+// path's other (start) endpoint, so range queries can answer both
+// "paths from s ending in R" (SinglePath Case 1) and "end vertices in R"
+// (Case 2) without touching any other structure.
+package gridindex
+
+import (
+	"fmt"
+
+	"hotpaths/internal/geom"
+	"hotpaths/internal/motion"
+)
+
+// Entry is one indexed endpoint.
+type Entry struct {
+	ID    motion.PathID
+	End   geom.Point // the indexed (end) vertex
+	Start geom.Point // the path's other endpoint
+}
+
+// Grid is a uniform spatial hash over a bounding rectangle. Points outside
+// the bounds are clamped into the boundary cells, so no entry is ever lost.
+type Grid struct {
+	bounds       geom.Rect
+	cols, rows   int
+	cellW, cellH float64
+	cells        []map[motion.PathID]Entry
+	n            int
+}
+
+// New creates a grid with cols×rows cells over bounds.
+func New(bounds geom.Rect, cols, rows int) (*Grid, error) {
+	if cols < 1 || rows < 1 {
+		return nil, fmt.Errorf("gridindex: need at least 1x1 cells, got %dx%d", cols, rows)
+	}
+	if bounds.Empty() || bounds.Width() == 0 || bounds.Height() == 0 {
+		return nil, fmt.Errorf("gridindex: bounds %v must have positive area", bounds)
+	}
+	return &Grid{
+		bounds: bounds,
+		cols:   cols,
+		rows:   rows,
+		cellW:  bounds.Width() / float64(cols),
+		cellH:  bounds.Height() / float64(rows),
+		cells:  make([]map[motion.PathID]Entry, cols*rows),
+	}, nil
+}
+
+// Len returns the number of indexed entries.
+func (g *Grid) Len() int { return g.n }
+
+// Bounds returns the grid's covering rectangle.
+func (g *Grid) Bounds() geom.Rect { return g.bounds }
+
+// clampCol maps an x coordinate to a column index, clamping out-of-bounds
+// coordinates into the boundary columns.
+func (g *Grid) clampCol(x float64) int {
+	c := int((x - g.bounds.Lo.X) / g.cellW)
+	if c < 0 {
+		return 0
+	}
+	if c >= g.cols {
+		return g.cols - 1
+	}
+	return c
+}
+
+func (g *Grid) clampRow(y float64) int {
+	r := int((y - g.bounds.Lo.Y) / g.cellH)
+	if r < 0 {
+		return 0
+	}
+	if r >= g.rows {
+		return g.rows - 1
+	}
+	return r
+}
+
+func (g *Grid) cellAt(p geom.Point) int {
+	return g.clampRow(p.Y)*g.cols + g.clampCol(p.X)
+}
+
+// Insert adds an entry. Inserting a second entry with an id already present
+// in the same cell overwrites it; the caller (the coordinator) allocates
+// fresh ids per path, so this only matters for misuse.
+func (g *Grid) Insert(e Entry) {
+	i := g.cellAt(e.End)
+	if g.cells[i] == nil {
+		g.cells[i] = make(map[motion.PathID]Entry)
+	}
+	if _, dup := g.cells[i][e.ID]; !dup {
+		g.n++
+	}
+	g.cells[i][e.ID] = e
+}
+
+// Remove deletes the entry for id whose end vertex is at end. It reports
+// whether an entry was removed.
+func (g *Grid) Remove(id motion.PathID, end geom.Point) bool {
+	i := g.cellAt(end)
+	if g.cells[i] == nil {
+		return false
+	}
+	if _, ok := g.cells[i][id]; !ok {
+		return false
+	}
+	delete(g.cells[i], id)
+	g.n--
+	return true
+}
+
+// Query invokes fn for every entry whose end vertex lies inside r
+// (inclusive). Iteration stops early if fn returns false.
+func (g *Grid) Query(r geom.Rect, fn func(Entry) bool) {
+	if r.Empty() {
+		return
+	}
+	c0, c1 := g.clampCol(r.Lo.X), g.clampCol(r.Hi.X)
+	r0, r1 := g.clampRow(r.Lo.Y), g.clampRow(r.Hi.Y)
+	for row := r0; row <= r1; row++ {
+		for col := c0; col <= c1; col++ {
+			for _, e := range g.cells[row*g.cols+col] {
+				if r.Contains(e.End) {
+					if !fn(e) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// QueryAll returns all entries with end vertex inside r.
+func (g *Grid) QueryAll(r geom.Rect) []Entry {
+	var out []Entry
+	g.Query(r, func(e Entry) bool {
+		out = append(out, e)
+		return true
+	})
+	return out
+}
+
+// ForEach visits every entry in the index.
+func (g *Grid) ForEach(fn func(Entry) bool) {
+	for _, cell := range g.cells {
+		for _, e := range cell {
+			if !fn(e) {
+				return
+			}
+		}
+	}
+}

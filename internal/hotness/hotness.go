@@ -1,0 +1,100 @@
+// Package hotness maintains motion-path hotness over a sliding time window
+// (paper Section 5.2).
+//
+// Hotness of a path is the number of crossings whose exit timestamp te lies
+// within the last W time units. The implementation follows the paper: a
+// hash table keyed by path id holds the current counts, and an event queue
+// (a binary min-heap ordered by expiry time te+W) decrements counts as
+// crossings slide out of the window. Counter updates are expected O(1);
+// heap operations are O(log n).
+package hotness
+
+import (
+	"container/heap"
+	"fmt"
+
+	"hotpaths/internal/motion"
+	"hotpaths/internal/trajectory"
+)
+
+type event struct {
+	expiry trajectory.Time // te + W
+	id     motion.PathID
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int            { return len(q) }
+func (q eventQueue) Less(i, j int) bool  { return q[i].expiry < q[j].expiry }
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Window tracks per-path crossing counts over a sliding window of length W.
+type Window struct {
+	w      trajectory.Time
+	counts map[motion.PathID]int
+	queue  eventQueue
+}
+
+// New returns an empty window of length w (must be positive).
+func New(w trajectory.Time) (*Window, error) {
+	if w <= 0 {
+		return nil, fmt.Errorf("hotness: window length must be positive, got %d", w)
+	}
+	return &Window{w: w, counts: make(map[motion.PathID]int)}, nil
+}
+
+// W returns the window length.
+func (h *Window) W() trajectory.Time { return h.w }
+
+// Cross records that an object crossed path id with exit timestamp te. The
+// crossing counts toward hotness until te+W.
+func (h *Window) Cross(id motion.PathID, te trajectory.Time) {
+	h.counts[id]++
+	heap.Push(&h.queue, event{expiry: te + h.w, id: id})
+}
+
+// Hotness returns the current count for id (0 if unknown).
+func (h *Window) Hotness(id motion.PathID) int { return h.counts[id] }
+
+// Len returns the number of paths with non-zero hotness.
+func (h *Window) Len() int { return len(h.counts) }
+
+// Pending returns the number of scheduled expiry events.
+func (h *Window) Pending() int { return len(h.queue) }
+
+// Advance processes all crossings that expire at or before now (i.e. with
+// te+W ≤ now). When a path's count drops to zero it is removed from the
+// table and onZero is invoked (the coordinator uses this to evict the path
+// from the grid index). onZero may be nil.
+func (h *Window) Advance(now trajectory.Time, onZero func(motion.PathID)) {
+	for len(h.queue) > 0 && h.queue[0].expiry <= now {
+		e := heap.Pop(&h.queue).(event)
+		c := h.counts[e.id] - 1
+		if c > 0 {
+			h.counts[e.id] = c
+			continue
+		}
+		delete(h.counts, e.id)
+		if onZero != nil {
+			onZero(e.id)
+		}
+	}
+}
+
+// ForEach visits every (id, hotness) pair with non-zero hotness. Iteration
+// stops early if fn returns false. Order is unspecified.
+func (h *Window) ForEach(fn func(id motion.PathID, hotness int) bool) {
+	for id, c := range h.counts {
+		if !fn(id, c) {
+			return
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package hotness
+
+import (
+	"math/rand"
+	"testing"
+
+	"hotpaths/internal/motion"
+	"hotpaths/internal/trajectory"
+)
+
+func mustWindow(t *testing.T, w trajectory.Time) *Window {
+	t.Helper()
+	h, err := New(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("W=0 must error")
+	}
+	if _, err := New(-5); err == nil {
+		t.Error("negative W must error")
+	}
+}
+
+func TestCrossAndHotness(t *testing.T) {
+	h := mustWindow(t, 100)
+	if h.W() != 100 {
+		t.Error("W accessor")
+	}
+	h.Cross(1, 10)
+	h.Cross(1, 20)
+	h.Cross(2, 15)
+	if h.Hotness(1) != 2 || h.Hotness(2) != 1 || h.Hotness(3) != 0 {
+		t.Errorf("hotness = %d,%d,%d", h.Hotness(1), h.Hotness(2), h.Hotness(3))
+	}
+	if h.Len() != 2 || h.Pending() != 3 {
+		t.Errorf("Len=%d Pending=%d", h.Len(), h.Pending())
+	}
+}
+
+func TestAdvanceExpiry(t *testing.T) {
+	h := mustWindow(t, 100)
+	h.Cross(1, 10) // expires at 110
+	h.Cross(1, 50) // expires at 150
+	var zeroed []motion.PathID
+	onZero := func(id motion.PathID) { zeroed = append(zeroed, id) }
+
+	h.Advance(109, onZero)
+	if h.Hotness(1) != 2 {
+		t.Error("nothing should expire before 110")
+	}
+	h.Advance(110, onZero)
+	if h.Hotness(1) != 1 {
+		t.Errorf("first crossing should expire at exactly te+W; hotness=%d", h.Hotness(1))
+	}
+	if len(zeroed) != 0 {
+		t.Error("path still hot, no onZero expected")
+	}
+	h.Advance(150, onZero)
+	if h.Hotness(1) != 0 || h.Len() != 0 {
+		t.Error("path should be fully expired")
+	}
+	if len(zeroed) != 1 || zeroed[0] != 1 {
+		t.Errorf("onZero = %v", zeroed)
+	}
+	// Nil callback is allowed.
+	h.Cross(2, 200)
+	h.Advance(400, nil)
+	if h.Len() != 0 {
+		t.Error("nil-callback advance should still expire")
+	}
+}
+
+func TestAdvanceOrderIndependentOfInsertion(t *testing.T) {
+	h := mustWindow(t, 10)
+	// Insert out of te order; the heap must expire in te order anyway.
+	h.Cross(1, 50)
+	h.Cross(2, 5)
+	h.Cross(3, 30)
+	var order []motion.PathID
+	for _, now := range []trajectory.Time{15, 40, 60} {
+		h.Advance(now, func(id motion.PathID) { order = append(order, id) })
+	}
+	want := []motion.PathID{2, 3, 1}
+	if len(order) != 3 || order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		t.Errorf("expiry order = %v want %v", order, want)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	h := mustWindow(t, 10)
+	h.Cross(1, 1)
+	h.Cross(2, 1)
+	h.Cross(2, 2)
+	sum := 0
+	h.ForEach(func(id motion.PathID, c int) bool { sum += c; return true })
+	if sum != 3 {
+		t.Errorf("total crossings = %d", sum)
+	}
+	n := 0
+	h.ForEach(func(motion.PathID, int) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+// Property: after any interleaving of crossings and advances, the counts
+// equal a brute-force recount of the un-expired crossings.
+func TestWindowMatchesBruteForce(t *testing.T) {
+	const W = 50
+	rng := rand.New(rand.NewSource(5))
+	h := mustWindow(t, W)
+	type crossing struct {
+		id motion.PathID
+		te trajectory.Time
+	}
+	var all []crossing
+	now := trajectory.Time(0)
+	for step := 0; step < 5000; step++ {
+		if rng.Float64() < 0.7 {
+			c := crossing{id: motion.PathID(rng.Intn(20)), te: now}
+			all = append(all, c)
+			h.Cross(c.id, c.te)
+		} else {
+			now += trajectory.Time(rng.Intn(10))
+			h.Advance(now, nil)
+		}
+		if step%250 != 0 {
+			continue
+		}
+		want := make(map[motion.PathID]int)
+		for _, c := range all {
+			if c.te+W > now { // not yet expired
+				want[c.id]++
+			}
+		}
+		for id := motion.PathID(0); id < 20; id++ {
+			if h.Hotness(id) != want[id] {
+				t.Fatalf("step %d now %d: hotness(%d) = %d want %d",
+					step, now, id, h.Hotness(id), want[id])
+			}
+		}
+		if h.Len() != len(want) {
+			t.Fatalf("Len %d want %d", h.Len(), len(want))
+		}
+	}
+}

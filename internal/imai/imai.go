@@ -1,0 +1,90 @@
+// Package imai provides an offline baseline for the degenerate single-object
+// case of the hot-motion-path problem (paper Section 3.1, ref [13]):
+// summarising one trajectory with the fewest motion paths under the
+// time-parameterised L∞ tolerance.
+//
+// GreedyAnchored implements a furthest-reaching greedy in the spirit of
+// Imai–Iri's optimal piecewise-linear approximation, adapted to the paper's
+// motion-path semantics. Each chunk's start vertex is anchored at the first
+// measurement of the chunk; the end vertex floats freely inside the chunk's
+// final safe area (the same cone-intersection geometry RayTrace maintains
+// on-line). Feasibility of a prefix is monotone — a motion path that fits
+// timepoints i..j also fits i..j′ for j′<j — so extending each chunk as far
+// as possible minimises the number of chunks among all anchored
+// segmentations (the standard exchange argument for greedy interval
+// covering).
+//
+// The value of this baseline is as an ablation reference: it sees the whole
+// trajectory at once and pays no chaining penalty to a coordinator's
+// endpoint choice, so it bounds from below the number of segments an
+// on-line anchored method can hope for.
+package imai
+
+import (
+	"fmt"
+
+	"hotpaths/internal/geom"
+	"hotpaths/internal/trajectory"
+)
+
+// GreedyAnchored segments the trajectory into the minimum number of motion
+// paths among anchored segmentations (see package comment). The endpoint of
+// each emitted path is the centroid of the chunk's final safe area, except
+// that consecutive paths share vertices only in the anchored sense: each
+// chunk starts at a measured location, not at the previous chunk's chosen
+// endpoint. The result therefore is NOT a covering motion path set; it is a
+// per-chunk summary used to count segments.
+func GreedyAnchored(pts []trajectory.TimePoint, eps float64) ([]trajectory.MotionPath, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("imai: eps must be positive, got %v", eps)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].T <= pts[i-1].T {
+			return nil, fmt.Errorf("imai: timestamps not strictly increasing at %d", i)
+		}
+	}
+	if len(pts) < 2 {
+		return nil, nil
+	}
+	var out []trajectory.MotionPath
+	i := 0
+	for i < len(pts)-1 {
+		// Grow a cone anchored at pts[i] as far as it reaches.
+		apex := pts[i]
+		var fsa geom.Rect
+		te := apex.T
+		j := i + 1
+		for ; j < len(pts); j++ {
+			q := geom.RectAround(pts[j].P, eps)
+			if te == apex.T {
+				fsa, te = q, pts[j].T
+				continue
+			}
+			lambda := float64(pts[j].T-apex.T) / float64(te-apex.T)
+			inter := fsa.Lerp(apex.P, lambda).Intersect(q)
+			if inter.Empty() {
+				break
+			}
+			fsa, te = inter, pts[j].T
+		}
+		out = append(out, trajectory.MotionPath{
+			S:  apex.P,
+			E:  fsa.Centroid(),
+			Ts: apex.T,
+			Te: te,
+		})
+		// Next chunk anchors at the last covered measurement, sharing it
+		// with the previous chunk so the whole trajectory stays covered.
+		i = j - 1
+	}
+	return out, nil
+}
+
+// SegmentCount is a convenience wrapper returning just the number of chunks.
+func SegmentCount(pts []trajectory.TimePoint, eps float64) (int, error) {
+	paths, err := GreedyAnchored(pts, eps)
+	if err != nil {
+		return 0, err
+	}
+	return len(paths), nil
+}

@@ -1,0 +1,65 @@
+// Package motion defines the shared identity types for discovered motion
+// paths, used by the grid index, the hotness window and the coordinator.
+package motion
+
+import (
+	"fmt"
+
+	"hotpaths/internal/geom"
+	"hotpaths/internal/trajectory"
+)
+
+// PathID identifies a stored motion path. IDs are allocated by the
+// coordinator and never reused within a run.
+type PathID uint64
+
+// Path is the stored geometry of a discovered motion path: the directed
+// segment S→E. Crossing intervals are tracked separately by the hotness
+// window, since one path is crossed by many objects at different times.
+type Path struct {
+	ID PathID
+	S  geom.Point
+	E  geom.Point
+}
+
+// Segment returns the path's spatial segment.
+func (p Path) Segment() geom.Segment { return geom.Seg(p.S, p.E) }
+
+// Length returns the Euclidean length of the path.
+func (p Path) Length() float64 { return p.S.Dist(p.E) }
+
+func (p Path) String() string {
+	return fmt.Sprintf("path#%d %v->%v", p.ID, p.S, p.E)
+}
+
+// Crossing records that some object crossed a path during [Ts,Te].
+type Crossing struct {
+	Path   PathID
+	Ts, Te trajectory.Time
+}
+
+// HotPath pairs a stored path with its current hotness; it is the unit of
+// top-k reporting.
+type HotPath struct {
+	Path    Path
+	Hotness int
+}
+
+// Score is the paper's quality metric for a single path:
+// hotness × length.
+func (hp HotPath) Score() float64 {
+	return float64(hp.Hotness) * hp.Path.Length()
+}
+
+// TopKScore is the paper's quality metric for a top-k set: the average
+// score of its members. It returns 0 for an empty set.
+func TopKScore(set []HotPath) float64 {
+	if len(set) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, hp := range set {
+		sum += hp.Score()
+	}
+	return sum / float64(len(set))
+}

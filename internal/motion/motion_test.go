@@ -1,0 +1,42 @@
+package motion
+
+import (
+	"math"
+	"testing"
+
+	"hotpaths/internal/geom"
+)
+
+func TestPathBasics(t *testing.T) {
+	p := Path{ID: 7, S: geom.Pt(0, 0), E: geom.Pt(3, 4)}
+	if p.Length() != 5 {
+		t.Errorf("Length = %v", p.Length())
+	}
+	if p.Segment() != geom.Seg(geom.Pt(0, 0), geom.Pt(3, 4)) {
+		t.Error("Segment mismatch")
+	}
+	if p.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestHotPathScore(t *testing.T) {
+	hp := HotPath{Path: Path{S: geom.Pt(0, 0), E: geom.Pt(10, 0)}, Hotness: 3}
+	if hp.Score() != 30 {
+		t.Errorf("Score = %v", hp.Score())
+	}
+}
+
+func TestTopKScore(t *testing.T) {
+	if TopKScore(nil) != 0 {
+		t.Error("empty set score must be 0")
+	}
+	set := []HotPath{
+		{Path: Path{S: geom.Pt(0, 0), E: geom.Pt(10, 0)}, Hotness: 2}, // 20
+		{Path: Path{S: geom.Pt(0, 0), E: geom.Pt(0, 5)}, Hotness: 4},  // 20
+		{Path: Path{S: geom.Pt(0, 0), E: geom.Pt(8, 6)}, Hotness: 1},  // 10
+	}
+	if got := TopKScore(set); math.Abs(got-50.0/3) > 1e-12 {
+		t.Errorf("TopKScore = %v", got)
+	}
+}

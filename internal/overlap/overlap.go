@@ -1,0 +1,244 @@
+// Package overlap analyses the arrangement of the final safe areas (FSAs)
+// of a batch of reporting objects, supporting the Rall structure of the
+// SinglePath strategy (paper Section 5.3, Algorithm 2 lines 8–12, 23–34).
+//
+// Two queries are provided:
+//
+//   - StabCount(p): how many rectangles contain p. The smallest
+//     intersection region containing p is exactly the intersection of all
+//     rectangles containing p, so its count equals the stabbing number —
+//     this implements line 24–25 without materialising the (potentially
+//     exponential) set of intersection regions.
+//
+//   - DeepestWithin(q): an exact maximum-depth point of the rectangle
+//     arrangement restricted to q, with its depth. This implements the
+//     choice of the hottest overlap region Rm (lines 27–34): the returned
+//     point is the centroid of a deepest cell.
+//
+// A uniform spatial hash bucketises rectangles so that both queries touch
+// only nearby rectangles; FSAs are small (at most one tolerance square), so
+// batches of many thousands of objects stay fast.
+package overlap
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hotpaths/internal/geom"
+)
+
+// Set is a batch of rectangles. It is built once per epoch and queried many
+// times; it is not safe for concurrent mutation.
+type Set struct {
+	rects    []geom.Rect
+	cellSize float64
+	buckets  map[[2]int][]int // cell -> indices into rects
+}
+
+// NewSet creates a set with the given bucket cell size, which should be on
+// the order of the typical rectangle diameter (e.g. 2ε for FSAs).
+func NewSet(cellSize float64) (*Set, error) {
+	if cellSize <= 0 || math.IsNaN(cellSize) || math.IsInf(cellSize, 0) {
+		return nil, fmt.Errorf("overlap: cell size must be positive and finite, got %v", cellSize)
+	}
+	return &Set{cellSize: cellSize, buckets: make(map[[2]int][]int)}, nil
+}
+
+// Len returns the number of rectangles in the set.
+func (s *Set) Len() int { return len(s.rects) }
+
+func (s *Set) cellRange(r geom.Rect) (c0, r0, c1, r1 int) {
+	c0 = int(math.Floor(r.Lo.X / s.cellSize))
+	r0 = int(math.Floor(r.Lo.Y / s.cellSize))
+	c1 = int(math.Floor(r.Hi.X / s.cellSize))
+	r1 = int(math.Floor(r.Hi.Y / s.cellSize))
+	return
+}
+
+// Add inserts a rectangle. Invalid (empty) rectangles are ignored.
+func (s *Set) Add(r geom.Rect) {
+	if r.Empty() {
+		return
+	}
+	idx := len(s.rects)
+	s.rects = append(s.rects, r)
+	c0, r0, c1, r1 := s.cellRange(r)
+	for row := r0; row <= r1; row++ {
+		for col := c0; col <= c1; col++ {
+			key := [2]int{col, row}
+			s.buckets[key] = append(s.buckets[key], idx)
+		}
+	}
+}
+
+// candidates returns indices of rectangles whose buckets overlap q,
+// deduplicated.
+func (s *Set) candidates(q geom.Rect) []int {
+	c0, r0, c1, r1 := s.cellRange(q)
+	seen := make(map[int]struct{})
+	var out []int
+	for row := r0; row <= r1; row++ {
+		for col := c0; col <= c1; col++ {
+			for _, i := range s.buckets[[2]int{col, row}] {
+				if _, dup := seen[i]; dup {
+					continue
+				}
+				seen[i] = struct{}{}
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+// StabCount returns the number of rectangles containing p (inclusive).
+func (s *Set) StabCount(p geom.Point) int {
+	key := [2]int{int(math.Floor(p.X / s.cellSize)), int(math.Floor(p.Y / s.cellSize))}
+	n := 0
+	for _, i := range s.buckets[key] {
+		if s.rects[i].Contains(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// Cell returns the smallest intersection region containing p — the
+// intersection of every rectangle in the set that contains p — together
+// with the number of such rectangles. When no rectangle contains p it
+// returns an empty rect and 0.
+//
+// The cell is a property of the arrangement alone (not of any query
+// window), so two objects whose deepest points land in the same cell
+// compute the exact same rectangle — and hence the same centroid vertex.
+func (s *Set) Cell(p geom.Point) (geom.Rect, int) {
+	key := [2]int{int(math.Floor(p.X / s.cellSize)), int(math.Floor(p.Y / s.cellSize))}
+	var cell geom.Rect
+	n := 0
+	for _, i := range s.buckets[key] {
+		r := s.rects[i]
+		if !r.Contains(p) {
+			continue
+		}
+		if n == 0 {
+			cell = r
+		} else {
+			cell = cell.Intersect(r)
+		}
+		n++
+	}
+	if n == 0 {
+		return geom.Rect{Lo: geom.Pt(1, 1), Hi: geom.Pt(0, 0)}, 0
+	}
+	return cell, n
+}
+
+// DeepestWithin returns a point inside q covered by the maximum number of
+// rectangles in the set, together with that count. If no rectangle
+// intersects q it returns q's centroid with count 0.
+//
+// The computation is exact: rectangles are clipped to q, their x
+// coordinates partition q into vertical strips, and within each strip a
+// 1-D sweep over y events finds the deepest interval. The returned point is
+// the centroid of one deepest cell, which keeps it strictly inside the
+// deepest region whenever that region has positive area.
+func (s *Set) DeepestWithin(q geom.Rect) (geom.Point, int) {
+	if q.Empty() {
+		return geom.Point{}, 0
+	}
+	var clipped []geom.Rect
+	for _, i := range s.candidates(q) {
+		c := s.rects[i].Intersect(q)
+		if !c.Empty() {
+			clipped = append(clipped, c)
+		}
+	}
+	if len(clipped) == 0 {
+		return q.Centroid(), 0
+	}
+
+	// X breakpoints.
+	xs := make([]float64, 0, 2*len(clipped))
+	for _, c := range clipped {
+		xs = append(xs, c.Lo.X, c.Hi.X)
+	}
+	sort.Float64s(xs)
+	xs = dedup(xs)
+
+	bestDepth := 0
+	var bestPt geom.Point
+	consider := func(depth int, pt geom.Point) {
+		if depth > bestDepth {
+			bestDepth = depth
+			bestPt = pt
+		}
+	}
+
+	// Examine every strip [xs[i], xs[i+1]] and every degenerate strip
+	// {xs[i]} (degenerate strips matter when rectangles touch only along a
+	// vertical line).
+	for i := 0; i < len(xs); i++ {
+		// Degenerate strip at xs[i].
+		s.sweepStrip(clipped, xs[i], xs[i], consider)
+		if i+1 < len(xs) {
+			s.sweepStrip(clipped, xs[i], xs[i+1], consider)
+		}
+	}
+	if bestDepth == 0 {
+		return q.Centroid(), 0
+	}
+	return bestPt, bestDepth
+}
+
+// sweepStrip finds the deepest y interval among rectangles spanning the
+// whole x strip [x0,x1] and reports (depth, centroid of deepest cell).
+func (s *Set) sweepStrip(clipped []geom.Rect, x0, x1 float64, consider func(int, geom.Point)) {
+	type yev struct {
+		y     float64
+		delta int
+	}
+	var evs []yev
+	for _, c := range clipped {
+		if c.Lo.X <= x0 && c.Hi.X >= x1 {
+			evs = append(evs, yev{c.Lo.Y, +1}, yev{c.Hi.Y, -1})
+		}
+	}
+	if len(evs) == 0 {
+		return
+	}
+	// Sort by y; at equal y, openings (+1) before closings (−1) so that
+	// rectangles touching at a single y line still count as overlapping
+	// (bounds are inclusive).
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].y != evs[j].y {
+			return evs[i].y < evs[j].y
+		}
+		return evs[i].delta > evs[j].delta
+	})
+	depth := 0
+	xmid := (x0 + x1) / 2
+	for i, e := range evs {
+		depth += e.delta
+		if e.delta != +1 {
+			continue
+		}
+		// Depth holds from this y until the next event's y.
+		yStart := e.y
+		yEnd := yStart
+		if i+1 < len(evs) {
+			yEnd = evs[i+1].y
+		}
+		consider(depth, geom.Pt(xmid, (yStart+yEnd)/2))
+	}
+}
+
+func dedup(xs []float64) []float64 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

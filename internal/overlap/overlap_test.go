@@ -1,0 +1,196 @@
+package overlap
+
+import (
+	"math/rand"
+	"testing"
+
+	"hotpaths/internal/geom"
+)
+
+func mustSet(t *testing.T, cell float64) *Set {
+	t.Helper()
+	s, err := NewSet(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSetValidation(t *testing.T) {
+	if _, err := NewSet(0); err == nil {
+		t.Error("cell=0 must error")
+	}
+	if _, err := NewSet(-1); err == nil {
+		t.Error("negative cell must error")
+	}
+}
+
+func TestAddIgnoresEmpty(t *testing.T) {
+	s := mustSet(t, 10)
+	s.Add(geom.Rect{Lo: geom.Pt(1, 1), Hi: geom.Pt(0, 0)})
+	if s.Len() != 0 {
+		t.Error("empty rect must be ignored")
+	}
+	s.Add(geom.Rect{Lo: geom.Pt(0, 0), Hi: geom.Pt(1, 1)})
+	if s.Len() != 1 {
+		t.Error("valid rect must be added")
+	}
+}
+
+func TestStabCount(t *testing.T) {
+	s := mustSet(t, 10)
+	s.Add(geom.Rect{Lo: geom.Pt(0, 0), Hi: geom.Pt(10, 10)})
+	s.Add(geom.Rect{Lo: geom.Pt(5, 5), Hi: geom.Pt(15, 15)})
+	s.Add(geom.Rect{Lo: geom.Pt(100, 100), Hi: geom.Pt(110, 110)})
+	cases := []struct {
+		p    geom.Point
+		want int
+	}{
+		{geom.Pt(2, 2), 1},
+		{geom.Pt(7, 7), 2},
+		{geom.Pt(12, 12), 1},
+		{geom.Pt(50, 50), 0},
+		{geom.Pt(105, 105), 1},
+		{geom.Pt(5, 5), 2},   // boundary inclusive
+		{geom.Pt(10, 10), 2}, // boundary inclusive
+	}
+	for _, c := range cases {
+		if got := s.StabCount(c.p); got != c.want {
+			t.Errorf("StabCount(%v) = %d want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestDeepestWithinExample(t *testing.T) {
+	// The paper's Example 2: three FSAs R1,R2,R3 with a common core R123.
+	s := mustSet(t, 10)
+	r1 := geom.Rect{Lo: geom.Pt(0, 0), Hi: geom.Pt(10, 10)}
+	r2 := geom.Rect{Lo: geom.Pt(4, 4), Hi: geom.Pt(14, 14)}
+	r3 := geom.Rect{Lo: geom.Pt(-2, 6), Hi: geom.Pt(8, 16)}
+	s.Add(r1)
+	s.Add(r2)
+	s.Add(r3)
+	// The triple intersection is [4,6]x[6,10] wait: x in [4, min(10,14,8)=8],
+	// y in [6, min(10,14,16)=10] → [4,8]x[6,10].
+	pt, depth := s.DeepestWithin(r1)
+	if depth != 3 {
+		t.Fatalf("depth = %d want 3 (point %v)", depth, pt)
+	}
+	core := geom.Rect{Lo: geom.Pt(4, 6), Hi: geom.Pt(8, 10)}
+	if !core.Contains(pt) {
+		t.Errorf("deepest point %v not in triple intersection %v", pt, core)
+	}
+	if !r1.Contains(pt) {
+		t.Errorf("deepest point %v escapes the query rect", pt)
+	}
+}
+
+func TestDeepestWithinNoCandidates(t *testing.T) {
+	s := mustSet(t, 10)
+	s.Add(geom.Rect{Lo: geom.Pt(100, 100), Hi: geom.Pt(110, 110)})
+	q := geom.Rect{Lo: geom.Pt(0, 0), Hi: geom.Pt(10, 10)}
+	pt, depth := s.DeepestWithin(q)
+	if depth != 0 {
+		t.Errorf("depth = %d want 0", depth)
+	}
+	if !pt.Eq(q.Centroid()) {
+		t.Errorf("fallback point = %v want centroid", pt)
+	}
+	if _, d := s.DeepestWithin(geom.Rect{Lo: geom.Pt(1, 1), Hi: geom.Pt(0, 0)}); d != 0 {
+		t.Error("empty query rect must report 0")
+	}
+}
+
+func TestDeepestWithinTouchingRects(t *testing.T) {
+	// Rectangles touching along a line: the shared line has depth 2.
+	s := mustSet(t, 10)
+	s.Add(geom.Rect{Lo: geom.Pt(0, 0), Hi: geom.Pt(10, 10)})
+	s.Add(geom.Rect{Lo: geom.Pt(10, 0), Hi: geom.Pt(20, 10)})
+	q := geom.Rect{Lo: geom.Pt(0, 0), Hi: geom.Pt(20, 10)}
+	pt, depth := s.DeepestWithin(q)
+	if depth != 2 {
+		t.Fatalf("depth = %d want 2 (touching boundary), pt=%v", depth, pt)
+	}
+	if pt.X != 10 {
+		t.Errorf("deepest point must sit on the shared line, got %v", pt)
+	}
+}
+
+func TestDeepestRespectsQueryClip(t *testing.T) {
+	// The deepest region globally lies outside the query rect; the answer
+	// must be the deepest *within* the query.
+	s := mustSet(t, 10)
+	for i := 0; i < 5; i++ {
+		s.Add(geom.Rect{Lo: geom.Pt(100, 100), Hi: geom.Pt(110, 110)})
+	}
+	s.Add(geom.Rect{Lo: geom.Pt(0, 0), Hi: geom.Pt(10, 10)})
+	q := geom.Rect{Lo: geom.Pt(0, 0), Hi: geom.Pt(20, 20)}
+	pt, depth := s.DeepestWithin(q)
+	if depth != 1 {
+		t.Fatalf("depth = %d want 1", depth)
+	}
+	if !q.Contains(pt) {
+		t.Errorf("point %v outside query", pt)
+	}
+}
+
+// Property: DeepestWithin's depth matches the best stabbing count over a
+// dense sample grid, and the returned point's own stab count equals the
+// reported depth.
+func TestDeepestWithinMatchesSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 60; trial++ {
+		s := mustSet(t, 8)
+		n := 1 + rng.Intn(12)
+		for i := 0; i < n; i++ {
+			lo := geom.Pt(rng.Float64()*40, rng.Float64()*40)
+			s.Add(geom.Rect{Lo: lo, Hi: lo.Add(geom.Pt(2+rng.Float64()*15, 2+rng.Float64()*15))})
+		}
+		qlo := geom.Pt(rng.Float64()*30, rng.Float64()*30)
+		q := geom.Rect{Lo: qlo, Hi: qlo.Add(geom.Pt(5+rng.Float64()*20, 5+rng.Float64()*20))}
+		pt, depth := s.DeepestWithin(q)
+		if depth > 0 {
+			if !q.Contains(pt) {
+				t.Fatalf("trial %d: point %v outside query %v", trial, pt, q)
+			}
+			if got := s.StabCount(pt); got != depth {
+				t.Fatalf("trial %d: stab(%v)=%d but reported depth %d", trial, pt, got, depth)
+			}
+		}
+		// Sampled lower bound on the true maximum.
+		best := 0
+		const grid = 60
+		for ix := 0; ix <= grid; ix++ {
+			for iy := 0; iy <= grid; iy++ {
+				p := geom.Pt(
+					q.Lo.X+q.Width()*float64(ix)/grid,
+					q.Lo.Y+q.Height()*float64(iy)/grid,
+				)
+				if c := s.StabCount(p); c > best {
+					best = c
+				}
+			}
+		}
+		if depth < best {
+			t.Fatalf("trial %d: reported depth %d < sampled depth %d", trial, depth, best)
+		}
+	}
+}
+
+func TestManyDisjointRectsFastPath(t *testing.T) {
+	// The bucket structure must keep queries local: a large set of far-away
+	// rectangles should not affect results near the origin.
+	s := mustSet(t, 20)
+	for i := 0; i < 10000; i++ {
+		lo := geom.Pt(float64(1000+i*30), float64(1000+i*30))
+		s.Add(geom.Rect{Lo: lo, Hi: lo.Add(geom.Pt(10, 10))})
+	}
+	s.Add(geom.Rect{Lo: geom.Pt(0, 0), Hi: geom.Pt(10, 10)})
+	pt, depth := s.DeepestWithin(geom.Rect{Lo: geom.Pt(-5, -5), Hi: geom.Pt(15, 15)})
+	if depth != 1 {
+		t.Fatalf("depth = %d", depth)
+	}
+	if s.StabCount(pt) != 1 {
+		t.Error("stab mismatch")
+	}
+}

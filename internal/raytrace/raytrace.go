@@ -1,0 +1,239 @@
+// Package raytrace implements the client-side RayTrace filter of the paper
+// (Section 4, Algorithm 1).
+//
+// RayTrace is a one-pass greedy algorithm with O(1) time and space per
+// timepoint. It maintains a Spatial Safe Area (SSA): a pyramid in xyt space
+// with apex at the current start timepoint ⟨s,ts⟩ that widens linearly to
+// the Final Safe Area (FSA) rectangle at time te. The SSA's defining
+// property is that for ANY endpoint e inside the FSA, the motion path s→e
+// crossed during [ts,te] stays within the tolerance of every measurement
+// processed so far.
+//
+// When a new timepoint's tolerance rectangle no longer intersects the SSA's
+// linear projection, the filter emits its state to the coordinator and
+// enters waiting mode, buffering subsequent measurements. The coordinator's
+// response — an endpoint chosen inside the FSA — seeds the next SSA, which
+// guarantees the produced motion paths chain into a covering motion path
+// set.
+//
+// Why checking only measurement timestamps suffices: between consecutive
+// measurements both the (interpolated) object trajectory and the candidate
+// motion path are linear in t, so each coordinate difference is linear and
+// its absolute value convex; the maximum over an interval is attained at
+// the interval's endpoints. Closeness at measurement timestamps therefore
+// implies closeness at every intermediate timestamp.
+package raytrace
+
+import (
+	"fmt"
+
+	"hotpaths/internal/geom"
+	"hotpaths/internal/trajectory"
+)
+
+// State is the message a filter sends to the coordinator when its SSA can
+// no longer grow: ⟨l(ts), ts, l(te), u(te), te⟩ in the paper's notation.
+type State struct {
+	Start geom.Point      // s = l(ts), the SSA apex
+	Ts    trajectory.Time // start timestamp
+	FSA   geom.Rect       // final safe area (l(te), u(te))
+	Te    trajectory.Time // end timestamp
+}
+
+// StateBytes is the wire size of a state message used for communication
+// accounting: six float64 coordinates plus two int64 timestamps.
+const StateBytes = 6*8 + 2*8
+
+// ResponseBytes is the wire size of a coordinator response: one endpoint
+// (two float64) plus one int64 timestamp.
+const ResponseBytes = 2*8 + 8
+
+func (s State) String() string {
+	return fmt.Sprintf("state{s=%v ts=%d fsa=%v te=%d}", s.Start, s.Ts, s.FSA, s.Te)
+}
+
+// ToleranceFunc maps a timepoint to its tolerance rectangle. The plain-ε
+// model uses the square of side 2ε around the measurement; the (ε,δ) model
+// substitutes the Gaussian tolerance rectangle of package uncertainty.
+type ToleranceFunc func(tp trajectory.TimePoint) geom.Rect
+
+// FixedTolerance returns the deterministic tolerance function: the square
+// of side 2·eps centred at the measurement.
+func FixedTolerance(eps float64) ToleranceFunc {
+	return func(tp trajectory.TimePoint) geom.Rect {
+		return geom.RectAround(tp.P, eps)
+	}
+}
+
+// Stats aggregates a filter's lifetime counters for communication and
+// processing accounting.
+type Stats struct {
+	Processed  int // timepoints consumed by the SSA logic
+	StatesSent int // state messages emitted to the coordinator
+	Responses  int // coordinator responses received
+	Buffered   int // timepoints that went through the waiting-mode buffer
+	MaxBuffer  int // high-water mark of the buffer length
+}
+
+// Filter is the per-object RayTrace instance. It is not safe for concurrent
+// use; each moving object owns exactly one filter.
+type Filter struct {
+	tol ToleranceFunc
+
+	// SSA state.
+	start   geom.Point
+	ts      trajectory.Time
+	fsa     geom.Rect
+	te      trajectory.Time
+	waiting bool
+	lastT   trajectory.Time
+	primed  bool // true once the initial timepoint is set
+
+	buf   []trajectory.TimePoint
+	stats Stats
+}
+
+// New returns a filter with the given initial timepoint and the fixed-ε
+// tolerance model.
+func New(initial trajectory.TimePoint, eps float64) *Filter {
+	return NewWithTolerance(initial, FixedTolerance(eps))
+}
+
+// NewWithTolerance returns a filter with a custom tolerance model.
+func NewWithTolerance(initial trajectory.TimePoint, tol ToleranceFunc) *Filter {
+	f := &Filter{tol: tol}
+	f.reset(initial)
+	return f
+}
+
+// reset re-seeds the SSA at the given timepoint.
+func (f *Filter) reset(tp trajectory.TimePoint) {
+	f.start = tp.P
+	f.ts = tp.T
+	f.te = tp.T
+	f.fsa = geom.Rect{Lo: tp.P, Hi: tp.P}
+	f.lastT = tp.T
+	f.primed = true
+}
+
+// State returns the filter's current SSA as a state message.
+func (f *Filter) State() State {
+	return State{Start: f.start, Ts: f.ts, FSA: f.fsa, Te: f.te}
+}
+
+// Waiting reports whether the filter awaits a coordinator response.
+func (f *Filter) Waiting() bool { return f.waiting }
+
+// Stats returns a copy of the filter's counters.
+func (f *Filter) Stats() Stats { return f.stats }
+
+// BufferLen returns the number of timepoints parked in the waiting buffer.
+func (f *Filter) BufferLen() int { return len(f.buf) }
+
+// Process consumes one measurement. When the SSA can no longer accommodate
+// it, the filter's state is returned with report=true and the filter enters
+// waiting mode (the violating point stays buffered for reprocessing after
+// the coordinator responds). Timestamps must be strictly increasing.
+func (f *Filter) Process(tp trajectory.TimePoint) (st State, report bool, err error) {
+	if !f.primed {
+		return State{}, false, fmt.Errorf("raytrace: filter used before initialization")
+	}
+	if tp.T <= f.lastT {
+		return State{}, false, fmt.Errorf("raytrace: non-increasing timestamp %d (last %d)", tp.T, f.lastT)
+	}
+	f.lastT = tp.T
+	if f.waiting {
+		f.buf = append(f.buf, tp)
+		f.stats.Buffered++
+		if len(f.buf) > f.stats.MaxBuffer {
+			f.stats.MaxBuffer = len(f.buf)
+		}
+		return State{}, false, nil
+	}
+	return f.step(tp)
+}
+
+// step advances the SSA with one timepoint (the body of Algorithm 1's inner
+// loop).
+func (f *Filter) step(tp trajectory.TimePoint) (State, bool, error) {
+	f.stats.Processed++
+	q := f.tol(tp)
+	if q.Empty() {
+		return State{}, false, fmt.Errorf("raytrace: empty tolerance rect for %v", tp)
+	}
+	if f.te == f.ts {
+		// First timepoint after the apex: the FSA is the tolerance rect.
+		f.te = tp.T
+		f.fsa = q
+		return State{}, false, nil
+	}
+	// Project the SSA pyramid onto tp.T (extrapolation for tp.T > te).
+	lambda := float64(tp.T-f.ts) / float64(f.te-f.ts)
+	proj := f.fsa.Lerp(f.start, lambda)
+	inter := proj.Intersect(q)
+	if !inter.Empty() {
+		f.te = tp.T
+		f.fsa = inter
+		return State{}, false, nil
+	}
+	// Violation: report state, park the point at the FRONT of the buffer
+	// (it may have been popped off during a replay and must keep its place
+	// before any younger buffered points), and wait for the coordinator.
+	f.waiting = true
+	f.buf = append([]trajectory.TimePoint{tp}, f.buf...)
+	f.stats.Buffered++
+	if len(f.buf) > f.stats.MaxBuffer {
+		f.stats.MaxBuffer = len(f.buf)
+	}
+	f.stats.StatesSent++
+	return f.State(), true, nil
+}
+
+// Respond delivers the coordinator's chosen endpoint ⟨e,te⟩, which becomes
+// the apex of the next SSA. Buffered measurements are then replayed; if one
+// of them violates the fresh SSA, the new state is reported immediately
+// (report=true) and the filter stays in waiting mode with the remainder of
+// the buffer intact.
+//
+// The response endpoint must lie inside the FSA that was reported and carry
+// the reported te; this is what guarantees a covering motion path set.
+func (f *Filter) Respond(e trajectory.TimePoint) (st State, report bool, err error) {
+	if !f.waiting {
+		return State{}, false, fmt.Errorf("raytrace: Respond while not waiting")
+	}
+	if e.T != f.te {
+		return State{}, false, fmt.Errorf("raytrace: response timestamp %d does not match reported te %d", e.T, f.te)
+	}
+	if !f.fsa.Contains(e.P) {
+		return State{}, false, fmt.Errorf("raytrace: response endpoint %v outside FSA %v", e.P, f.fsa)
+	}
+	f.stats.Responses++
+	f.waiting = false
+	f.reset(e)
+	f.lastT = e.T
+	// Replay the buffer.
+	for len(f.buf) > 0 {
+		tp := f.buf[0]
+		f.buf = f.buf[1:]
+		f.lastT = tp.T
+		st, report, err = f.step(tp)
+		if err != nil {
+			return State{}, false, err
+		}
+		if report {
+			return st, true, nil
+		}
+	}
+	f.buf = nil
+	return State{}, false, nil
+}
+
+// Flush force-emits the current SSA as a final state (e.g. at simulation
+// end) provided at least one timepoint extended it. It does not enter
+// waiting mode.
+func (f *Filter) Flush() (State, bool) {
+	if !f.primed || f.te == f.ts {
+		return State{}, false
+	}
+	return f.State(), true
+}

@@ -1,0 +1,67 @@
+package simulation
+
+import (
+	"testing"
+
+	"hotpaths/internal/workload"
+)
+
+// The movement-model ablation, in miniature: the literal i.i.d. agility
+// reading turns trajectories into random staircases in time, so RayTrace
+// must report far more often and the index must inflate relative to the
+// bursty traffic model on the identical network.
+func TestMovementModelAblation(t *testing.T) {
+	base := smallConfig(t)
+	base.Duration = 150
+
+	bursty := base
+	bursty.Model = workload.Bursty
+	rb, err := Run(bursty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iid := base
+	iid.Model = workload.IID
+	ri, err := Run(iid)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if ri.Comm.UpMessages <= rb.Comm.UpMessages {
+		t.Errorf("iid must report more: %d vs bursty %d",
+			ri.Comm.UpMessages, rb.Comm.UpMessages)
+	}
+	if ri.AvgIndexSize <= rb.AvgIndexSize {
+		t.Errorf("iid index %f must exceed bursty %f",
+			ri.AvgIndexSize, rb.AvgIndexSize)
+	}
+	// Both remain correct: communication still suppressed vs naive.
+	if ri.Comm.UpMessages >= ri.Comm.Measurements {
+		t.Error("iid filtering must still suppress messages")
+	}
+}
+
+// StopProb propagates: heavier red lights mean shorter bursts and more
+// state messages per measurement.
+func TestStopProbPropagates(t *testing.T) {
+	few := smallConfig(t)
+	few.Duration = 150
+	few.StopProb = 0.2
+	many := few
+	many.StopProb = 0.9
+
+	rf, err := Run(few)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := Run(many)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rateF := float64(rf.Comm.UpMessages) / float64(rf.Comm.Measurements)
+	rateM := float64(rm.Comm.UpMessages) / float64(rm.Comm.Measurements)
+	if rateM <= rateF {
+		t.Errorf("report rate must grow with stop probability: %.4f (p=0.2) vs %.4f (p=0.9)",
+			rateF, rateM)
+	}
+}

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Error("single-sample stddev")
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %v want 2", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 15}, {100, 50}, {50, 35}, {25, 20}, {-5, 15}, {110, 50},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("P%v = %v want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile")
+	}
+	// Interpolation between ranks.
+	if got := Percentile([]float64{10, 20}, 50); got != 15 {
+		t.Errorf("interpolated P50 = %v", got)
+	}
+	if Median(xs) != 35 {
+		t.Error("Median")
+	}
+	// Percentile must not mutate its input.
+	unsorted := []float64{3, 1, 2}
+	Percentile(unsorted, 50)
+	if unsorted[0] != 3 || unsorted[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty min/max")
+	}
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+}
+
+func TestTable(t *testing.T) {
+	var tb Table
+	tb.AddRow("N", "index", "score")
+	tb.AddRowf(10000, 4.2, "ok")
+	tb.AddRow("100000", "10.9", "better")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("missing underline: %q", lines[1])
+	}
+	// Columns aligned: "index" starts at the same offset in all rows.
+	idx := strings.Index(lines[0], "index")
+	if !strings.HasPrefix(lines[2][idx:], "4.2") {
+		t.Errorf("misaligned row: %q", lines[2])
+	}
+	var empty Table
+	if empty.String() != "" {
+		t.Error("empty table output")
+	}
+}

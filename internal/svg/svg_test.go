@@ -1,0 +1,90 @@
+package svg
+
+import (
+	"strings"
+	"testing"
+
+	"hotpaths/internal/geom"
+	"hotpaths/internal/motion"
+	"hotpaths/internal/roadnet"
+)
+
+func testNet(t *testing.T) *roadnet.Network {
+	t.Helper()
+	nodes := []roadnet.Node{
+		{ID: 0, P: geom.Pt(0, 0)},
+		{ID: 1, P: geom.Pt(1000, 0)},
+		{ID: 2, P: geom.Pt(1000, 1000)},
+	}
+	links := []roadnet.Link{
+		{ID: 0, From: 0, To: 1, Class: roadnet.Motorway},
+		{ID: 1, From: 1, To: 2, Class: roadnet.Secondary},
+	}
+	n, err := roadnet.Build(nodes, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestRenderNetwork(t *testing.T) {
+	out := RenderNetwork(testNet(t), Options{})
+	if !strings.HasPrefix(out, "<svg ") || !strings.HasSuffix(out, "</svg>\n") {
+		t.Error("not a well-formed SVG wrapper")
+	}
+	if strings.Count(out, "<line ") != 2 {
+		t.Errorf("want 2 lines, got %d", strings.Count(out, "<line "))
+	}
+	// Motorway styled differently from secondary.
+	if !strings.Contains(out, "#c0392b") || !strings.Contains(out, "#bdc3c7") {
+		t.Error("class styling missing")
+	}
+}
+
+func TestRenderNetworkCrop(t *testing.T) {
+	crop := geom.Rect{Lo: geom.Pt(900, 500), Hi: geom.Pt(1100, 1100)}
+	out := RenderNetwork(testNet(t), Options{Crop: crop})
+	// Only the vertical secondary link intersects the crop.
+	if got := strings.Count(out, "<line "); got != 1 {
+		t.Errorf("cropped render has %d lines want 1", got)
+	}
+}
+
+func TestRenderHotPaths(t *testing.T) {
+	paths := []motion.HotPath{
+		{Path: motion.Path{ID: 0, S: geom.Pt(0, 0), E: geom.Pt(100, 0)}, Hotness: 1},
+		{Path: motion.Path{ID: 1, S: geom.Pt(0, 50), E: geom.Pt(100, 50)}, Hotness: 10},
+	}
+	bounds := geom.Rect{Lo: geom.Pt(0, 0), Hi: geom.Pt(100, 100)}
+	out := RenderHotPaths(paths, bounds, Options{WidthPx: 400})
+	if strings.Count(out, "<line ") != 2 {
+		t.Errorf("want 2 lines, got %d", strings.Count(out, "<line "))
+	}
+	// The hot path must be drawn thicker: max width 5.0 vs thin ~1.2.
+	if !strings.Contains(out, `stroke-width="5.0"`) {
+		t.Errorf("hottest path not at max width:\n%s", out)
+	}
+	if !strings.Contains(out, `width="400"`) {
+		t.Error("width option ignored")
+	}
+}
+
+func TestRenderHotPathsEmpty(t *testing.T) {
+	out := RenderHotPaths(nil, geom.Rect{}, Options{})
+	if !strings.HasPrefix(out, "<svg ") {
+		t.Error("empty render must still be valid SVG")
+	}
+}
+
+func TestRenderDeterministicOrder(t *testing.T) {
+	paths := []motion.HotPath{
+		{Path: motion.Path{ID: 0, S: geom.Pt(0, 0), E: geom.Pt(10, 0)}, Hotness: 5},
+		{Path: motion.Path{ID: 1, S: geom.Pt(0, 1), E: geom.Pt(10, 1)}, Hotness: 2},
+	}
+	bounds := geom.Rect{Lo: geom.Pt(0, 0), Hi: geom.Pt(10, 10)}
+	a := RenderHotPaths(paths, bounds, Options{})
+	b := RenderHotPaths([]motion.HotPath{paths[1], paths[0]}, bounds, Options{})
+	if a != b {
+		t.Error("rendering must be order-independent (cold drawn first)")
+	}
+}

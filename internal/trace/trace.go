@@ -1,0 +1,159 @@
+// Package trace serialises measurement streams to a line-oriented text
+// format and replays them, decoupling workload generation from discovery
+// runs. A recorded trace makes experiments exactly reproducible across
+// machines and lets external datasets be fed into the system.
+//
+// Format, one measurement per line, timestamps non-decreasing:
+//
+//	<timestamp> <objectID> <x> <y>
+//
+// Lines starting with '#' and blank lines are ignored.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"hotpaths/internal/geom"
+	"hotpaths/internal/trajectory"
+	"hotpaths/internal/workload"
+)
+
+// Record is one replayed measurement.
+type Record struct {
+	ObjectID int
+	TP       trajectory.TimePoint
+}
+
+// Writer streams records to an output.
+type Writer struct {
+	bw    *bufio.Writer
+	lastT trajectory.Time
+	n     int
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriter(w)}
+}
+
+// Write appends one record. Timestamps must be non-decreasing across the
+// whole trace (multiple objects may share a timestamp).
+func (w *Writer) Write(r Record) error {
+	if r.TP.T < w.lastT {
+		return fmt.Errorf("trace: timestamp %d after %d; traces must be time-ordered", r.TP.T, w.lastT)
+	}
+	w.lastT = r.TP.T
+	w.n++
+	_, err := fmt.Fprintf(w.bw, "%d %d %g %g\n", r.TP.T, r.ObjectID, r.TP.P.X, r.TP.P.Y)
+	return err
+}
+
+// WriteMeasurement adapts a workload measurement.
+func (w *Writer) WriteMeasurement(m workload.Measurement) error {
+	return w.Write(Record{ObjectID: m.ObjectID, TP: m.TP})
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() int { return w.n }
+
+// Flush flushes buffered output; call before closing the underlying file.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Reader streams records from an input.
+type Reader struct {
+	sc    *bufio.Scanner
+	line  int
+	lastT trajectory.Time
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	return &Reader{sc: sc}
+}
+
+// Next returns the next record; io.EOF signals a clean end.
+func (r *Reader) Next() (Record, error) {
+	for r.sc.Scan() {
+		r.line++
+		line := strings.TrimSpace(r.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var rec Record
+		var t int64
+		var x, y float64
+		if _, err := fmt.Sscanf(line, "%d %d %g %g", &t, &rec.ObjectID, &x, &y); err != nil {
+			return Record{}, fmt.Errorf("trace: line %d: %w", r.line, err)
+		}
+		rec.TP = trajectory.TP(geom.Pt(x, y), trajectory.Time(t))
+		if rec.TP.T < r.lastT {
+			return Record{}, fmt.Errorf("trace: line %d: timestamp %d after %d", r.line, rec.TP.T, r.lastT)
+		}
+		r.lastT = rec.TP.T
+		return rec, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return Record{}, err
+	}
+	return Record{}, io.EOF
+}
+
+// ReadAll consumes the whole trace.
+func ReadAll(rd io.Reader) ([]Record, error) {
+	r := NewReader(rd)
+	var out []Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// Replay feeds the trace to per-timestamp callbacks: batch receives all
+// records of one timestamp, then tick is invoked with that timestamp. This
+// is the access pattern both the hotpaths.System facade and the simulation
+// loop expect.
+func Replay(rd io.Reader, batch func([]Record) error, tick func(trajectory.Time) error) error {
+	r := NewReader(rd)
+	var cur []Record
+	var curT trajectory.Time
+	flush := func() error {
+		if len(cur) == 0 {
+			return nil
+		}
+		if err := batch(cur); err != nil {
+			return err
+		}
+		if err := tick(curT); err != nil {
+			return err
+		}
+		cur = cur[:0]
+		return nil
+	}
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return flush()
+		}
+		if err != nil {
+			return err
+		}
+		if len(cur) > 0 && rec.TP.T != curT {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		curT = rec.TP.T
+		cur = append(cur, rec)
+	}
+}

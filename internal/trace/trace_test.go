@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"hotpaths/internal/geom"
+	"hotpaths/internal/trajectory"
+	"hotpaths/internal/workload"
+)
+
+func rec(t trajectory.Time, id int, x, y float64) Record {
+	return Record{ObjectID: id, TP: trajectory.TP(geom.Pt(x, y), t)}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	in := []Record{
+		rec(1, 0, 1.5, 2.5),
+		rec(1, 1, -3, 4),
+		rec(2, 0, 10, 20.25),
+		rec(5, 2, 0, 0),
+	}
+	for _, r := range in {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 4 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d records", len(out))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("record %d: %+v vs %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestWriterRejectsTimeTravel(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Write(rec(5, 0, 0, 0))
+	if err := w.Write(rec(4, 0, 0, 0)); err == nil {
+		t.Error("decreasing timestamp must error")
+	}
+	// Equal timestamps are fine (different objects share ticks).
+	if err := w.Write(rec(5, 1, 0, 0)); err != nil {
+		t.Errorf("equal timestamp rejected: %v", err)
+	}
+}
+
+func TestWriteMeasurement(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	m := workload.Measurement{ObjectID: 7, TP: trajectory.TP(geom.Pt(1, 2), 3)}
+	if err := w.WriteMeasurement(m); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	out, _ := ReadAll(&buf)
+	if len(out) != 1 || out[0].ObjectID != 7 {
+		t.Errorf("out = %+v", out)
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	bad := []string{
+		"1 x 2 3",
+		"abc",
+		"2 0 1 1\n1 0 2 2", // time travel
+	}
+	for _, s := range bad {
+		if _, err := ReadAll(strings.NewReader(s)); err == nil {
+			t.Errorf("input %q must error", s)
+		}
+	}
+	// Comments and blanks are skipped.
+	ok := "# header\n\n1 0 2 3\n"
+	recs, err := ReadAll(strings.NewReader(ok))
+	if err != nil || len(recs) != 1 {
+		t.Errorf("valid input: %v %v", recs, err)
+	}
+}
+
+func TestNextEOF(t *testing.T) {
+	r := NewReader(strings.NewReader(""))
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("want EOF, got %v", err)
+	}
+}
+
+func TestReplayBatching(t *testing.T) {
+	input := "1 0 0 0\n1 1 5 5\n2 0 1 0\n4 1 6 6\n4 2 7 7\n"
+	var batches [][]Record
+	var ticks []trajectory.Time
+	err := Replay(strings.NewReader(input),
+		func(rs []Record) error {
+			cp := append([]Record(nil), rs...)
+			batches = append(batches, cp)
+			return nil
+		},
+		func(now trajectory.Time) error {
+			ticks = append(ticks, now)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 3 || len(ticks) != 3 {
+		t.Fatalf("batches=%d ticks=%d", len(batches), len(ticks))
+	}
+	if len(batches[0]) != 2 || len(batches[1]) != 1 || len(batches[2]) != 2 {
+		t.Errorf("batch sizes: %d %d %d", len(batches[0]), len(batches[1]), len(batches[2]))
+	}
+	if ticks[0] != 1 || ticks[1] != 2 || ticks[2] != 4 {
+		t.Errorf("ticks = %v", ticks)
+	}
+}
+
+func TestReplayEmpty(t *testing.T) {
+	called := false
+	err := Replay(strings.NewReader("# nothing\n"),
+		func([]Record) error { called = true; return nil },
+		func(trajectory.Time) error { called = true; return nil })
+	if err != nil || called {
+		t.Errorf("empty replay: err=%v called=%v", err, called)
+	}
+}
+
+func TestReplayPropagatesErrors(t *testing.T) {
+	input := "1 0 0 0\n2 0 1 1\n"
+	sentinel := io.ErrClosedPipe
+	err := Replay(strings.NewReader(input),
+		func([]Record) error { return sentinel },
+		func(trajectory.Time) error { return nil })
+	if err != sentinel {
+		t.Errorf("batch error not propagated: %v", err)
+	}
+}

@@ -1,0 +1,223 @@
+// Package uncertainty implements the paper's (ε,δ) tolerance model for
+// imprecise location measurements (Section 4.1).
+//
+// A measurement reports the mean and standard deviation of a Gaussian
+// location estimate. For a single axis, a reported value x' is "close" to
+// the true location X ~ N(x,σ²) when
+//
+//	Pr(|X − x'| ≤ ε) ≥ 1 − δ.
+//
+// The admissible offsets w = x' − x form a symmetric interval [−w*, +w*]
+// where w* is the largest solution of
+//
+//	Φ((w+ε)/σ) − Φ((w−ε)/σ) = 1 − δ.
+//
+// The package solves this equation numerically (bisection over the standard
+// normal CDF, computed from math.Erf) and also provides a precomputed
+// lookup table delivering constant-time answers, mirroring the paper's two
+// proposed strategies. In two dimensions the per-axis failure budget is
+// δ/2, since (1−δ/2)² ≥ 1−δ.
+package uncertainty
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hotpaths/internal/geom"
+)
+
+// ErrNoSolution is returned when the measurement is too noisy for the
+// requested (ε,δ): even the mean itself is not close with probability 1−δ.
+var ErrNoSolution = errors.New("uncertainty: no admissible tolerance interval (sigma too large for eps,delta)")
+
+// Phi is the standard normal cumulative distribution function.
+func Phi(z float64) float64 {
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}
+
+// coverage returns Pr(X ∈ [x'−ε, x'+ε]) for X ~ N(0,1) scaled measurements:
+// the probability mass of the ±a window centred at offset v, i.e.
+// Φ(v+a) − Φ(v−a).
+func coverage(v, a float64) float64 {
+	return Phi(v+a) - Phi(v-a)
+}
+
+// MaxOffset returns the largest w ≥ 0 such that a reported location at
+// distance w from the measurement mean is still close to the true location
+// under tolerance (eps, delta), for a Gaussian with standard deviation
+// sigma. sigma must be positive; eps must be positive; delta in (0,1).
+func MaxOffset(eps, delta, sigma float64) (float64, error) {
+	if sigma <= 0 {
+		return 0, fmt.Errorf("uncertainty: sigma must be positive, got %v", sigma)
+	}
+	if eps <= 0 {
+		return 0, fmt.Errorf("uncertainty: eps must be positive, got %v", eps)
+	}
+	if delta <= 0 || delta >= 1 {
+		return 0, fmt.Errorf("uncertainty: delta must be in (0,1), got %v", delta)
+	}
+	a := eps / sigma
+	v, err := maxOffsetNorm(a, delta)
+	if err != nil {
+		return 0, err
+	}
+	return v * sigma, nil
+}
+
+// maxOffsetNorm solves coverage(v, a) = 1−delta for the largest v ≥ 0, in
+// normalized units (sigma = 1). coverage is strictly decreasing in v for
+// v ≥ 0, so bisection applies.
+func maxOffsetNorm(a, delta float64) (float64, error) {
+	target := 1 - delta
+	if coverage(0, a) < target {
+		return 0, ErrNoSolution
+	}
+	// Upper bracket: coverage(v,a) ≤ Φ(v+a) − Φ(v−a) ≤ 1 − Φ(v−a); for
+	// v = a + 40 the right side is astronomically below any target.
+	lo, hi := 0.0, a+40
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if coverage(mid, a) >= target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-13 {
+			break
+		}
+	}
+	return lo, nil
+}
+
+// ToleranceInterval returns the interval [lo,hi] of admissible reported
+// locations for a 1-D Gaussian measurement with the given mean and sigma.
+func ToleranceInterval(mean, sigma, eps, delta float64) (lo, hi float64, err error) {
+	w, err := MaxOffset(eps, delta, sigma)
+	if err != nil {
+		return 0, 0, err
+	}
+	return mean - w, mean + w, nil
+}
+
+// Measurement is an imprecise 2-D location: independent Gaussian noise on
+// each axis.
+type Measurement struct {
+	Mean   geom.Point
+	SigmaX float64
+	SigmaY float64
+}
+
+// ToleranceRect returns the tolerance rectangle for a 2-D measurement under
+// tolerance (eps, delta), splitting the failure budget as δ/2 per axis as in
+// the paper. The rectangle plays the role of RayTrace's tolerance square.
+func ToleranceRect(m Measurement, eps, delta float64) (geom.Rect, error) {
+	half := delta / 2
+	wx, err := MaxOffset(eps, half, m.SigmaX)
+	if err != nil {
+		return geom.Rect{}, fmt.Errorf("x axis: %w", err)
+	}
+	wy, err := MaxOffset(eps, half, m.SigmaY)
+	if err != nil {
+		return geom.Rect{}, fmt.Errorf("y axis: %w", err)
+	}
+	return geom.Rect{
+		Lo: geom.Pt(m.Mean.X-wx, m.Mean.Y-wy),
+		Hi: geom.Pt(m.Mean.X+wx, m.Mean.Y+wy),
+	}, nil
+}
+
+// ToleranceRectOrMin is the paper's "retroactive" fallback: when (ε,δ) has
+// no solution for this measurement's noise, assign a predefined minimal
+// tolerance square of half-side minHalf around the mean instead of failing.
+func ToleranceRectOrMin(m Measurement, eps, delta, minHalf float64) geom.Rect {
+	r, err := ToleranceRect(m, eps, delta)
+	if err != nil {
+		return geom.RectAround(m.Mean, minHalf)
+	}
+	return r
+}
+
+// Table is a precomputed lookup table for MaxOffset at a fixed delta,
+// following the paper's constant-time strategy. It stores the normalized
+// solution v*(a) on a uniform grid of a = ε/σ values and interpolates
+// linearly between grid points. Interpolation always rounds down to the
+// conservative (smaller) neighbour first, so the returned offset is within
+// one grid cell of the exact value and never wildly optimistic.
+type Table struct {
+	delta      float64
+	aMin, aMax float64
+	step       float64
+	v          []float64 // v[i] = v*(aMin + i·step); NaN where no solution
+}
+
+// NewTable precomputes steps+1 samples of the normalized offset for
+// a ∈ [aMin, aMax] at the given delta.
+func NewTable(delta, aMin, aMax float64, steps int) (*Table, error) {
+	if delta <= 0 || delta >= 1 {
+		return nil, fmt.Errorf("uncertainty: delta must be in (0,1), got %v", delta)
+	}
+	if !(aMin > 0) || aMax <= aMin || steps < 1 {
+		return nil, fmt.Errorf("uncertainty: bad table range [%v,%v]/%d", aMin, aMax, steps)
+	}
+	t := &Table{
+		delta: delta,
+		aMin:  aMin,
+		aMax:  aMax,
+		step:  (aMax - aMin) / float64(steps),
+		v:     make([]float64, steps+1),
+	}
+	for i := range t.v {
+		a := aMin + float64(i)*t.step
+		v, err := maxOffsetNorm(a, delta)
+		if err != nil {
+			v = math.NaN()
+		}
+		t.v[i] = v
+	}
+	return t, nil
+}
+
+// Delta returns the failure probability the table was built for.
+func (t *Table) Delta() float64 { return t.delta }
+
+// MaxOffset returns the (interpolated) maximal offset for the given eps and
+// sigma. ok is false when a = eps/sigma falls outside the table range or in
+// a region with no solution.
+func (t *Table) MaxOffset(eps, sigma float64) (w float64, ok bool) {
+	if sigma <= 0 || eps <= 0 {
+		return 0, false
+	}
+	a := eps / sigma
+	if a < t.aMin || a > t.aMax {
+		return 0, false
+	}
+	f := (a - t.aMin) / t.step
+	i := int(f)
+	if i >= len(t.v)-1 {
+		i = len(t.v) - 2
+	}
+	v0, v1 := t.v[i], t.v[i+1]
+	if math.IsNaN(v0) || math.IsNaN(v1) {
+		return 0, false
+	}
+	frac := f - float64(i)
+	return (v0 + frac*(v1-v0)) * sigma, true
+}
+
+// ToleranceRect is the table-backed variant of the package-level
+// ToleranceRect; it requires a table built with delta/2 matching.
+func (t *Table) ToleranceRect(m Measurement, eps float64) (geom.Rect, bool) {
+	wx, ok := t.MaxOffset(eps, m.SigmaX)
+	if !ok {
+		return geom.Rect{}, false
+	}
+	wy, ok := t.MaxOffset(eps, m.SigmaY)
+	if !ok {
+		return geom.Rect{}, false
+	}
+	return geom.Rect{
+		Lo: geom.Pt(m.Mean.X-wx, m.Mean.Y-wy),
+		Hi: geom.Pt(m.Mean.X+wx, m.Mean.Y+wy),
+	}, true
+}

@@ -1,0 +1,257 @@
+package uncertainty
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hotpaths/internal/geom"
+)
+
+func TestPhi(t *testing.T) {
+	cases := []struct{ z, want float64 }{
+		{0, 0.5},
+		{1.959963985, 0.975},
+		{-1.959963985, 0.025},
+		{3, 0.998650101968370},
+	}
+	for _, c := range cases {
+		if got := Phi(c.z); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Phi(%v) = %v want %v", c.z, got, c.want)
+		}
+	}
+}
+
+func TestMaxOffsetValidation(t *testing.T) {
+	if _, err := MaxOffset(1, 0.05, 0); err == nil {
+		t.Error("sigma=0 must error")
+	}
+	if _, err := MaxOffset(0, 0.05, 1); err == nil {
+		t.Error("eps=0 must error")
+	}
+	if _, err := MaxOffset(1, 0, 1); err == nil {
+		t.Error("delta=0 must error")
+	}
+	if _, err := MaxOffset(1, 1, 1); err == nil {
+		t.Error("delta=1 must error")
+	}
+}
+
+func TestMaxOffsetNoSolution(t *testing.T) {
+	// With sigma huge relative to eps, even w=0 fails: coverage(0,a) =
+	// 2Φ(a)−1 ≈ a·√(2/π) → tiny.
+	_, err := MaxOffset(1, 0.05, 100)
+	if err != ErrNoSolution {
+		t.Errorf("want ErrNoSolution, got %v", err)
+	}
+}
+
+// The defining equation must hold at the returned offset.
+func TestMaxOffsetSolvesEquation(t *testing.T) {
+	for _, c := range []struct{ eps, delta, sigma float64 }{
+		{10, 0.05, 1},
+		{10, 0.05, 3},
+		{1, 0.1, 0.3},
+		{5, 0.01, 1.5},
+		{2, 0.5, 1},
+	} {
+		w, err := MaxOffset(c.eps, c.delta, c.sigma)
+		if err != nil {
+			t.Fatalf("MaxOffset(%+v): %v", c, err)
+		}
+		got := Phi((w+c.eps)/c.sigma) - Phi((w-c.eps)/c.sigma)
+		if math.Abs(got-(1-c.delta)) > 1e-9 {
+			t.Errorf("coverage at w=%v is %v want %v (case %+v)", w, got, 1-c.delta, c)
+		}
+	}
+}
+
+// Monotonicity: w grows with eps, shrinks as delta shrinks, shrinks with
+// noisier sigma (for fixed eps).
+func TestMaxOffsetMonotonicity(t *testing.T) {
+	w1, _ := MaxOffset(5, 0.05, 1)
+	w2, _ := MaxOffset(10, 0.05, 1)
+	if w2 <= w1 {
+		t.Errorf("offset must grow with eps: %v vs %v", w1, w2)
+	}
+	w3, _ := MaxOffset(5, 0.01, 1)
+	if w3 >= w1 {
+		t.Errorf("offset must shrink as delta shrinks: %v vs %v", w3, w1)
+	}
+	w4, _ := MaxOffset(5, 0.05, 2)
+	if w4 >= w1 {
+		t.Errorf("offset must shrink with larger sigma: %v vs %v", w4, w1)
+	}
+}
+
+// As sigma→0 the measurement becomes exact and w→eps (the deterministic
+// tolerance square is recovered).
+func TestMaxOffsetDeterministicLimit(t *testing.T) {
+	w, err := MaxOffset(10, 0.05, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-10) > 1e-3 {
+		t.Errorf("w = %v want ≈ 10", w)
+	}
+}
+
+func TestToleranceInterval(t *testing.T) {
+	lo, hi, err := ToleranceInterval(100, 1, 10, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs((100-lo)-(hi-100)) > 1e-9 {
+		t.Error("interval must be symmetric around the mean")
+	}
+	if hi-100 >= 10 {
+		t.Errorf("offset %v must be strictly below eps for sigma>0", hi-100)
+	}
+}
+
+func TestToleranceRect(t *testing.T) {
+	m := Measurement{Mean: geom.Pt(50, 80), SigmaX: 1, SigmaY: 2}
+	r, err := ToleranceRect(m, 10, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Contains(m.Mean) {
+		t.Error("rect must contain the mean")
+	}
+	// Noisier axis gets a narrower admissible band.
+	if r.Height() >= r.Width() {
+		t.Errorf("sigmaY > sigmaX should give height < width: w=%v h=%v", r.Width(), r.Height())
+	}
+	// Both half-widths below eps.
+	if r.Width()/2 >= 10 || r.Height()/2 >= 10 {
+		t.Error("half-extents must be < eps")
+	}
+	// Error propagation.
+	bad := Measurement{Mean: geom.Pt(0, 0), SigmaX: 100, SigmaY: 1}
+	if _, err := ToleranceRect(bad, 1, 0.05); err == nil {
+		t.Error("excessive SigmaX must error")
+	}
+}
+
+func TestToleranceRectOrMin(t *testing.T) {
+	bad := Measurement{Mean: geom.Pt(5, 5), SigmaX: 100, SigmaY: 100}
+	r := ToleranceRectOrMin(bad, 1, 0.05, 0.5)
+	if r != geom.RectAround(geom.Pt(5, 5), 0.5) {
+		t.Errorf("fallback rect = %v", r)
+	}
+	good := Measurement{Mean: geom.Pt(5, 5), SigmaX: 1, SigmaY: 1}
+	r2 := ToleranceRectOrMin(good, 10, 0.05, 0.5)
+	if r2.Width() <= 1 {
+		t.Error("solvable case must not use the fallback")
+	}
+}
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable(0, 1, 10, 8); err == nil {
+		t.Error("delta=0 must error")
+	}
+	if _, err := NewTable(0.05, 0, 10, 8); err == nil {
+		t.Error("aMin=0 must error")
+	}
+	if _, err := NewTable(0.05, 5, 5, 8); err == nil {
+		t.Error("empty range must error")
+	}
+	if _, err := NewTable(0.05, 1, 10, 0); err == nil {
+		t.Error("steps=0 must error")
+	}
+}
+
+func TestTableMatchesExactSolver(t *testing.T) {
+	tab, err := NewTable(0.05, 0.5, 50, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Delta() != 0.05 {
+		t.Error("Delta accessor")
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		sigma := 0.3 + rng.Float64()*3
+		eps := sigma * (0.6 + rng.Float64()*40) // keep a in range
+		exact, err := MaxOffset(eps, 0.05, sigma)
+		approx, ok := tab.MaxOffset(eps, sigma)
+		if err == ErrNoSolution {
+			if ok && approx > 0.1*sigma {
+				t.Errorf("table returned %v where solver says no solution", approx)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("table miss for eps=%v sigma=%v", eps, sigma)
+		}
+		if math.Abs(exact-approx) > 0.02*sigma+1e-6 {
+			t.Errorf("table %v vs exact %v (eps=%v sigma=%v)", approx, exact, eps, sigma)
+		}
+	}
+}
+
+func TestTableOutOfRange(t *testing.T) {
+	tab, _ := NewTable(0.05, 1, 10, 100)
+	if _, ok := tab.MaxOffset(0.5, 1); ok {
+		t.Error("a below range must miss")
+	}
+	if _, ok := tab.MaxOffset(100, 1); ok {
+		t.Error("a above range must miss")
+	}
+	if _, ok := tab.MaxOffset(5, 0); ok {
+		t.Error("sigma=0 must miss")
+	}
+	if _, ok := tab.MaxOffset(0, 1); ok {
+		t.Error("eps=0 must miss")
+	}
+}
+
+func TestTableToleranceRect(t *testing.T) {
+	tab, _ := NewTable(0.025, 0.5, 50, 2000) // delta/2 for delta=0.05
+	m := Measurement{Mean: geom.Pt(10, 20), SigmaX: 1, SigmaY: 1}
+	r, ok := tab.ToleranceRect(m, 10)
+	if !ok {
+		t.Fatal("expected a rect")
+	}
+	exact, err := ToleranceRect(m, 10, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Width()-exact.Width()) > 0.05 {
+		t.Errorf("table rect width %v vs exact %v", r.Width(), exact.Width())
+	}
+	bad := Measurement{Mean: geom.Pt(0, 0), SigmaX: 1000, SigmaY: 1}
+	if _, ok := tab.ToleranceRect(bad, 10); ok {
+		t.Error("out-of-range sigma must miss")
+	}
+}
+
+// Monte-Carlo check: a point at the boundary offset really does contain the
+// true location with probability ≈ 1−δ.
+func TestMaxOffsetMonteCarlo(t *testing.T) {
+	const (
+		eps   = 10.0
+		delta = 0.10
+		sigma = 4.0
+		n     = 200000
+	)
+	w, err := MaxOffset(eps, delta, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	hits := 0
+	for i := 0; i < n; i++ {
+		x := rng.NormFloat64() * sigma // true deviation from mean
+		if math.Abs(x-w) <= eps {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-(1-delta)) > 0.005 {
+		t.Errorf("empirical coverage %v want %v", got, 1-delta)
+	}
+}

@@ -12,7 +12,10 @@ package hotpaths_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
+
+	"hotpaths"
 
 	"hotpaths/internal/coordinator"
 	"hotpaths/internal/dp"
@@ -317,6 +320,97 @@ func BenchmarkCoordinatorEpoch(b *testing.B) {
 				c.Advance(now)
 			}
 		})
+	}
+}
+
+// --- Ingest throughput: single-threaded System vs sharded Engine ---
+
+// ingestBatches precomputes a per-timestamp observation stream: nObjects
+// seeded random walkers with occasional sharp turns, so the filter tier
+// does real SSA work and periodically reports. It is the same generator
+// the Engine/System equivalence test uses (hotpaths.IngestWorkload).
+func ingestBatches(nObjects int, horizon int64) [][]hotpaths.Observation {
+	return hotpaths.IngestWorkload(nObjects, horizon, 21)
+}
+
+func ingestConfig() hotpaths.Config {
+	return hotpaths.Config{
+		Eps:    5,
+		W:      100,
+		Epoch:  10,
+		K:      10,
+		Bounds: hotpaths.Rect{Min: hotpaths.Pt(-3000, -3000), Max: hotpaths.Pt(4000, 4000)},
+	}
+}
+
+// BenchmarkSystemIngest is the single-threaded baseline: the full
+// filter+coordinator pipeline driven through hotpaths.System.
+func BenchmarkSystemIngest(b *testing.B) {
+	const nObjects, horizon = 512, 60
+	batches := ingestBatches(nObjects, horizon)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := hotpaths.New(ingestConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, batch := range batches {
+			for _, o := range batch {
+				if err := sys.Observe(o.ObjectID, o.X, o.Y, o.T); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := sys.Tick(batch[0].T); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	reportObsRate(b, nObjects*horizon)
+}
+
+// BenchmarkEngineIngest sweeps the shard count over the same workload. At
+// 4+ shards on a multi-core machine the sharded filter tier should beat
+// the System baseline by >=2x; shards=1 measures the pipeline overhead.
+func BenchmarkEngineIngest(b *testing.B) {
+	const nObjects, horizon = 512, 60
+	batches := ingestBatches(nObjects, horizon)
+	counts := []int{1, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 4 {
+		counts = append(counts, p)
+	}
+	for _, shards := range counts {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng, err := hotpaths.NewEngine(hotpaths.EngineConfig{
+					Config: ingestConfig(),
+					Shards: shards,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, batch := range batches {
+					if err := eng.ObserveBatch(batch); err != nil {
+						b.Fatal(err)
+					}
+					if err := eng.Tick(batch[0].T); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := eng.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportObsRate(b, nObjects*horizon)
+		})
+	}
+}
+
+func reportObsRate(b *testing.B, obsPerIter int) {
+	b.Helper()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(obsPerIter*b.N)/sec, "obs/s")
 	}
 }
 

@@ -1,0 +1,168 @@
+// Command hotpathsd serves on-line hot motion path discovery over
+// HTTP/JSON, backed by the concurrent sharded hotpaths.Engine.
+//
+// Usage:
+//
+//	hotpathsd [-addr :8080] [-eps 10] [-delta 0] [-w 100] [-epoch 10]
+//	          [-k 10] [-shards 0] [-buffer 256] [-grid 64]
+//	          [-bounds 0,0,16000,16000] [-snapshot paths.geojson]
+//
+// Endpoints:
+//
+//	POST /observe        {"observations":[{"object":1,"x":10,"y":20,"t":3}], "tick":3}
+//	POST /tick           {"now": 4}
+//	GET  /topk           current top-k hottest paths as JSON
+//	GET  /paths.geojson  every live path as a GeoJSON FeatureCollection
+//	GET  /stats          ingestion and coordinator counters
+//	GET  /healthz        liveness probe
+//
+// Time is logical and client-driven: producers POST observation batches
+// for a timestamp, then advance the clock (inline via "tick", or from a
+// single place via POST /tick). On SIGINT/SIGTERM the daemon stops
+// accepting requests, drains the ingestion shards, and — with -snapshot —
+// writes the final hot paths as GeoJSON before exiting. The snapshot
+// reflects the last processed epoch: reports raised after it are not
+// included (as with hotpaths.System, epochs only fire on ticks), so
+// clients wanting a complete snapshot should POST a final epoch-crossing
+// /tick before stopping the daemon.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"hotpaths"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		eps      = flag.Float64("eps", 10, "tolerance epsilon, metres")
+		delta    = flag.Float64("delta", 0, "uncertainty delta; 0 disables the (eps,delta) model")
+		w        = flag.Int64("w", 100, "sliding window length, timestamps")
+		epoch    = flag.Int64("epoch", 10, "epoch length, timestamps")
+		k        = flag.Int("k", 10, "top-k hottest paths to report")
+		shards   = flag.Int("shards", 0, "filter shards (0 = GOMAXPROCS)")
+		buffer   = flag.Int("buffer", 256, "per-shard ingestion queue capacity")
+		grid     = flag.Int("grid", 64, "coordinator grid resolution (grid x grid cells)")
+		bounds   = flag.String("bounds", "0,0,16000,16000", "monitored region: minx,miny,maxx,maxy")
+		snapshot = flag.String("snapshot", "", "write final paths as GeoJSON here on shutdown")
+	)
+	flag.Parse()
+
+	rect, err := parseBounds(*bounds)
+	if err != nil {
+		fatal(err)
+	}
+	eng, err := hotpaths.NewEngine(hotpaths.EngineConfig{
+		Config: hotpaths.Config{
+			Eps:      *eps,
+			Delta:    *delta,
+			W:        *w,
+			Epoch:    *epoch,
+			K:        *k,
+			Bounds:   rect,
+			GridCols: *grid,
+			GridRows: *grid,
+		},
+		Shards: *shards,
+		Buffer: *buffer,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(eng).handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logf("listening on %s (%d shards, eps=%g, w=%d, epoch=%d)",
+		*addr, eng.Shards(), *eps, *w, *epoch)
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, finish in-flight requests, then
+	// drain the ingestion shards and snapshot the final state.
+	logf("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		logf("http shutdown: %v", err)
+	}
+	if err := eng.Close(); err != nil {
+		logf("engine drain: %v", err)
+	}
+	if *snapshot != "" {
+		if err := writeSnapshot(*snapshot, eng); err != nil {
+			logf("snapshot: %v", err)
+		} else {
+			logf("snapshot written to %s", *snapshot)
+		}
+	}
+	st := eng.Stats()
+	logf("final: %d observations, %d reports, %d live paths",
+		st.Observations, st.Reports, st.IndexSize)
+}
+
+// writeSnapshot dumps every live path as GeoJSON, using the same encoding
+// as GET /paths.geojson.
+func writeSnapshot(path string, eng *hotpaths.Engine) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := eng.WriteGeoJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func parseBounds(s string) (hotpaths.Rect, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return hotpaths.Rect{}, fmt.Errorf("bounds must be minx,miny,maxx,maxy, got %q", s)
+	}
+	vals := make([]float64, 4)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return hotpaths.Rect{}, fmt.Errorf("bounds component %q: %w", p, err)
+		}
+		vals[i] = v
+	}
+	return hotpaths.Rect{
+		Min: hotpaths.Pt(vals[0], vals[1]),
+		Max: hotpaths.Pt(vals[2], vals[3]),
+	}, nil
+}
+
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hotpathsd: "+format+"\n", args...)
+}
+
+func fatal(err error) {
+	logf("%v", err)
+	os.Exit(1)
+}

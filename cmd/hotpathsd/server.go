@@ -1,0 +1,197 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"hotpaths"
+)
+
+// server wires the Engine to the HTTP surface. All handler state lives in
+// the Engine, which is safe for concurrent use; the server itself is
+// stateless beyond its start time.
+type server struct {
+	eng     *hotpaths.Engine
+	started time.Time
+}
+
+func newServer(eng *hotpaths.Engine) *server {
+	return &server{eng: eng, started: time.Now()}
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /observe", s.handleObserve)
+	mux.HandleFunc("POST /tick", s.handleTick)
+	mux.HandleFunc("GET /topk", s.handleTopK)
+	mux.HandleFunc("GET /paths.geojson", s.handleGeoJSON)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// observationJSON is the wire form of one measurement.
+type observationJSON struct {
+	Object int     `json:"object"`
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	T      int64   `json:"t"`
+	SigmaX float64 `json:"sigma_x,omitempty"`
+	SigmaY float64 `json:"sigma_y,omitempty"`
+}
+
+// observeRequest is the POST /observe body. Tick, when positive, advances
+// the engine clock after the batch is ingested — the convenient form for a
+// single-writer feed that ticks as it streams; multi-writer deployments
+// should leave it zero and drive POST /tick from one place.
+type observeRequest struct {
+	Observations []observationJSON `json:"observations"`
+	Tick         int64             `json:"tick,omitempty"`
+}
+
+type tickRequest struct {
+	Now int64 `json:"now"`
+}
+
+type pointJSON struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+type pathJSON struct {
+	ID      uint64    `json:"id"`
+	Rank    int       `json:"rank"`
+	Hotness int       `json:"hotness"`
+	Length  float64   `json:"length"`
+	Score   float64   `json:"score"`
+	Start   pointJSON `json:"start"`
+	End     pointJSON `json:"end"`
+}
+
+// maxRequestBytes caps request bodies so one oversized batch cannot
+// exhaust the daemon's memory.
+const maxRequestBytes = 8 << 20
+
+// decodeBody decodes a size-limited JSON request body, reporting 413 for
+// oversized payloads and 400 for malformed ones. It returns false after
+// writing the error response.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, err)
+		} else {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		}
+		return false
+	}
+	return true
+}
+
+func (s *server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	var req observeRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	batch := make([]hotpaths.Observation, len(req.Observations))
+	for i, o := range req.Observations {
+		batch[i] = hotpaths.Observation{
+			ObjectID: o.Object,
+			X:        o.X, Y: o.Y, T: o.T,
+			SigmaX: o.SigmaX, SigmaY: o.SigmaY,
+		}
+	}
+	if err := s.eng.ObserveBatch(batch); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := map[string]any{"accepted": len(batch)}
+	if req.Tick > 0 {
+		if err := s.eng.Tick(req.Tick); err != nil {
+			// The batch was already ingested; report that alongside the
+			// tick failure so clients don't re-send the observations.
+			writeJSON(w, http.StatusBadRequest, map[string]any{
+				"error":    err.Error(),
+				"accepted": len(batch),
+			})
+			return
+		}
+		resp["now"] = req.Tick
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleTick(w http.ResponseWriter, r *http.Request) {
+	var req tickRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := s.eng.Tick(req.Now); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"now": req.Now})
+}
+
+func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, toPathJSON(s.eng.TopK()))
+}
+
+func (s *server) handleGeoJSON(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/geo+json")
+	if err := s.eng.WriteGeoJSON(w); err != nil {
+		// Headers are gone; all we can do is log.
+		logf("write geojson: %v", err)
+	}
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"observations":   st.Observations,
+		"reports":        st.Reports,
+		"responses":      st.Responses,
+		"paths_created":  st.PathsCreated,
+		"paths_expired":  st.PathsExpired,
+		"crossings":      st.Crossings,
+		"index_size":     st.IndexSize,
+		"shards":         s.eng.Shards(),
+		"uptime_seconds": int(time.Since(s.started).Seconds()),
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+func toPathJSON(paths []hotpaths.HotPath) []pathJSON {
+	out := make([]pathJSON, len(paths))
+	for i, hp := range paths {
+		out[i] = pathJSON{
+			ID:      hp.ID,
+			Rank:    i + 1,
+			Hotness: hp.Hotness,
+			Length:  hp.Length(),
+			Score:   hp.Score(),
+			Start:   pointJSON{hp.Start.X, hp.Start.Y},
+			End:     pointJSON{hp.End.X, hp.End.Y},
+		}
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		logf("write response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]any{"error": err.Error()})
+}

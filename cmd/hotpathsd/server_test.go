@@ -1,0 +1,256 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"hotpaths"
+)
+
+func newTestHandler(t *testing.T) http.Handler {
+	t.Helper()
+	eng, err := hotpaths.NewEngine(hotpaths.EngineConfig{
+		Config: hotpaths.Config{
+			Eps:    5,
+			W:      100,
+			Epoch:  10,
+			K:      10,
+			Bounds: hotpaths.Rect{Min: hotpaths.Pt(-100, -100), Max: hotpaths.Pt(2000, 2000)},
+		},
+		Shards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return newServer(eng).handler()
+}
+
+func do(t *testing.T, h http.Handler, method, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func decode[T any](t *testing.T, rec *httptest.ResponseRecorder) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		t.Fatalf("decode %q: %v", rec.Body.String(), err)
+	}
+	return v
+}
+
+// feedZigZag drives two objects along a zig-zag for 40 timestamps through
+// the HTTP surface, forcing reports and path creation.
+func feedZigZag(t *testing.T, h http.Handler) {
+	t.Helper()
+	for now := int64(1); now <= 40; now++ {
+		x := float64(now) * 6
+		y := 0.0
+		if (now/5)%2 == 0 {
+			y = 40
+		}
+		req := observeRequest{
+			Observations: []observationJSON{
+				{Object: 1, X: x, Y: y, T: now},
+				{Object: 2, X: x, Y: y + 0.5, T: now},
+			},
+			Tick: now,
+		}
+		rec := do(t, h, http.MethodPost, "/observe", req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("observe at t=%d: %d %s", now, rec.Code, rec.Body.String())
+		}
+	}
+}
+
+func TestObserveAndTopK(t *testing.T) {
+	h := newTestHandler(t)
+	feedZigZag(t, h)
+
+	rec := do(t, h, http.MethodGet, "/topk", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("topk: %d %s", rec.Code, rec.Body.String())
+	}
+	paths := decode[[]pathJSON](t, rec)
+	if len(paths) == 0 {
+		t.Fatal("no hot paths discovered through the HTTP surface")
+	}
+	if paths[0].Rank != 1 || paths[0].Hotness <= 0 || paths[0].Length <= 0 {
+		t.Errorf("malformed top path: %+v", paths[0])
+	}
+	shared := false
+	for _, p := range paths {
+		if p.Hotness >= 2 {
+			shared = true
+		}
+	}
+	if !shared {
+		t.Errorf("two objects on the same route should share a path: %+v", paths)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	h := newTestHandler(t)
+	feedZigZag(t, h)
+
+	rec := do(t, h, http.MethodGet, "/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d", rec.Code)
+	}
+	st := decode[map[string]any](t, rec)
+	if got := st["observations"].(float64); got != 80 {
+		t.Errorf("observations = %v, want 80", got)
+	}
+	if st["reports"].(float64) == 0 {
+		t.Error("zig-zag raised no reports")
+	}
+	if st["shards"].(float64) != 2 {
+		t.Errorf("shards = %v, want 2", st["shards"])
+	}
+}
+
+func TestGeoJSONEndpoint(t *testing.T) {
+	h := newTestHandler(t)
+	feedZigZag(t, h)
+
+	rec := do(t, h, http.MethodGet, "/paths.geojson", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("paths.geojson: %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/geo+json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var fc struct {
+		Type     string `json:"type"`
+		Features []struct {
+			Type     string `json:"type"`
+			Geometry struct {
+				Type        string       `json:"type"`
+				Coordinates [][2]float64 `json:"coordinates"`
+			} `json:"geometry"`
+			Properties map[string]any `json:"properties"`
+		} `json:"features"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &fc); err != nil {
+		t.Fatal(err)
+	}
+	if fc.Type != "FeatureCollection" || len(fc.Features) == 0 {
+		t.Fatalf("bad collection: type=%q features=%d", fc.Type, len(fc.Features))
+	}
+	f := fc.Features[0]
+	if f.Geometry.Type != "LineString" || len(f.Geometry.Coordinates) != 2 {
+		t.Errorf("bad geometry: %+v", f.Geometry)
+	}
+	if f.Properties["hotness"].(float64) <= 0 {
+		t.Errorf("bad properties: %+v", f.Properties)
+	}
+}
+
+func TestTickEndpoint(t *testing.T) {
+	h := newTestHandler(t)
+	if rec := do(t, h, http.MethodPost, "/tick", tickRequest{Now: 5}); rec.Code != http.StatusOK {
+		t.Fatalf("tick: %d %s", rec.Code, rec.Body.String())
+	}
+	// Backwards time must be rejected.
+	if rec := do(t, h, http.MethodPost, "/tick", tickRequest{Now: 3}); rec.Code != http.StatusBadRequest {
+		t.Errorf("backwards tick: %d, want 400", rec.Code)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	h := newTestHandler(t)
+	// Malformed JSON.
+	req := httptest.NewRequest(http.MethodPost, "/observe", bytes.NewBufferString("{nope"))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed observe: %d, want 400", rec.Code)
+	}
+	// Noise without the (eps,delta) model enabled.
+	bad := observeRequest{Observations: []observationJSON{{Object: 1, T: 1, SigmaX: 1, SigmaY: 1}}}
+	if rec := do(t, h, http.MethodPost, "/observe", bad); rec.Code != http.StatusBadRequest {
+		t.Errorf("noisy observe without delta: %d, want 400", rec.Code)
+	}
+	// Wrong method.
+	if rec := do(t, h, http.MethodGet, "/observe", nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /observe: %d, want 405", rec.Code)
+	}
+}
+
+func TestOversizedRequestRejected(t *testing.T) {
+	h := newTestHandler(t)
+	// Valid JSON that streams past the size cap, so the decoder hits the
+	// limit rather than a syntax error.
+	raw := append([]byte(`{"pad":"`), bytes.Repeat([]byte("a"), maxRequestBytes+1)...)
+	raw = append(raw, '"', '}')
+	body := bytes.NewReader(raw)
+	req := httptest.NewRequest(http.MethodPost, "/observe", body)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized observe: %d, want 413", rec.Code)
+	}
+}
+
+// A client clock that skips over an epoch boundary must still get its
+// reports processed.
+func TestSparseTickTriggersEpoch(t *testing.T) {
+	h := newTestHandler(t)
+	for now := int64(1); now <= 8; now++ {
+		x := float64(now) * 6
+		y := 0.0
+		if now > 4 {
+			y = 40 // sharp turn forces a report
+		}
+		req := observeRequest{
+			Observations: []observationJSON{{Object: 1, X: x, Y: y, T: now}},
+		}
+		if rec := do(t, h, http.MethodPost, "/observe", req); rec.Code != http.StatusOK {
+			t.Fatalf("observe at t=%d: %d", now, rec.Code)
+		}
+	}
+	// Jump from 0 straight past the epoch boundary at 10.
+	if rec := do(t, h, http.MethodPost, "/tick", tickRequest{Now: 13}); rec.Code != http.StatusOK {
+		t.Fatalf("tick: %d %s", rec.Code, rec.Body.String())
+	}
+	rec := do(t, h, http.MethodGet, "/stats", nil)
+	st := decode[map[string]any](t, rec)
+	if st["responses"].(float64) == 0 {
+		t.Errorf("epoch was skipped: %v", rec.Body.String())
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	h := newTestHandler(t)
+	if rec := do(t, h, http.MethodGet, "/healthz", nil); rec.Code != http.StatusOK {
+		t.Errorf("healthz: %d", rec.Code)
+	}
+}
+
+func TestParseBounds(t *testing.T) {
+	r, err := parseBounds("0, 0, 100, 200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Max.X != 100 || r.Max.Y != 200 {
+		t.Errorf("parsed %+v", r)
+	}
+	for _, bad := range []string{"", "1,2,3", "a,b,c,d"} {
+		if _, err := parseBounds(bad); err == nil {
+			t.Errorf("parseBounds(%q) must fail", bad)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package hotpaths
+
+import (
+	"fmt"
+	"io"
+
+	"hotpaths/internal/engine"
+	"hotpaths/internal/geojson"
+	"hotpaths/internal/geom"
+	"hotpaths/internal/trajectory"
+)
+
+// Observation is one location measurement for batched ingestion into an
+// Engine. SigmaX/SigmaY are optional per-axis Gaussian standard
+// deviations; leave them zero for exact measurements. Noisy observations
+// require Config.Delta > 0.
+type Observation struct {
+	ObjectID       int
+	X, Y           float64
+	T              int64
+	SigmaX, SigmaY float64
+}
+
+// EngineConfig parameterises an Engine: the common Config plus the
+// concurrency knobs.
+type EngineConfig struct {
+	Config
+
+	// Shards is the number of filter shards, each a goroutine owning the
+	// RayTrace filters of the objects that hash to it (default: GOMAXPROCS).
+	Shards int
+
+	// Buffer is the per-shard ingestion queue capacity in messages
+	// (default 256). Larger buffers decouple producers from slow shards at
+	// the cost of memory.
+	Buffer int
+}
+
+// Engine is the concurrent, object-sharded deployment of the paper's
+// architecture. Observations hash by object id to shard goroutines running
+// the RayTrace filters; at epoch boundaries Tick drains the shards and
+// feeds the merged report batch — restored to arrival order — to a single
+// SinglePath coordinator, so results are bit-identical to a System fed the
+// same observations in the same order.
+//
+// Concurrency contract: Observe/ObserveNoisy/ObserveBatch may be called
+// from many goroutines concurrently, and queries (TopK, HotPaths, Score,
+// Stats) are safe at any time. Observations for one object must be
+// produced in timestamp order by one producer at a time. Tick must not
+// race itself, and producers that need an observation counted in a
+// specific epoch must order their Observe calls before that Tick.
+type Engine struct {
+	cfg Config
+	eng *engine.Engine
+}
+
+// NewEngine validates cfg and starts the engine's shard goroutines. Call
+// Close to stop them.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	c, err := cfg.Config.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	coord, err := c.newCoordinator()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.New(engine.Config{
+		Coord:     coord,
+		Epoch:     trajectory.Time(c.Epoch),
+		Tolerance: c.toleranceFunc,
+		Shards:    cfg.Shards,
+		Buffer:    cfg.Buffer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: c, eng: eng}, nil
+}
+
+// Shards returns the engine's shard count.
+func (e *Engine) Shards() int { return e.eng.Shards() }
+
+// Observe enqueues one exact location measurement for objectID at
+// timestamp t. Processing is asynchronous: per-observation errors (e.g. a
+// non-increasing timestamp) surface from the next epoch-boundary Tick.
+func (e *Engine) Observe(objectID int, x, y float64, t int64) error {
+	return e.eng.Observe(engine.Observation{
+		ObjectID: objectID,
+		P:        geom.Pt(x, y),
+		T:        trajectory.Time(t),
+	})
+}
+
+// ObserveNoisy enqueues a Gaussian measurement with per-axis standard
+// deviations. It requires Config.Delta > 0.
+func (e *Engine) ObserveNoisy(objectID int, x, y, sigmaX, sigmaY float64, t int64) error {
+	if e.cfg.Delta <= 0 {
+		return fmt.Errorf("hotpaths: ObserveNoisy requires Config.Delta > 0")
+	}
+	if sigmaX <= 0 || sigmaY <= 0 {
+		return fmt.Errorf("hotpaths: standard deviations must be positive")
+	}
+	return e.eng.Observe(engine.Observation{
+		ObjectID: objectID,
+		P:        geom.Pt(x, y),
+		T:        trajectory.Time(t),
+		SigmaX:   sigmaX,
+		SigmaY:   sigmaY,
+	})
+}
+
+// ObserveBatch enqueues a batch of observations in one pass — the fast
+// path for network ingestion: the batch is split into at most one queue
+// message per shard. Order is preserved per object.
+func (e *Engine) ObserveBatch(batch []Observation) error {
+	conv := make([]engine.Observation, len(batch))
+	for i, o := range batch {
+		noisy := o.SigmaX != 0 || o.SigmaY != 0
+		if noisy {
+			if e.cfg.Delta <= 0 {
+				return fmt.Errorf("hotpaths: observation %d carries noise but Config.Delta is 0", i)
+			}
+			if o.SigmaX <= 0 || o.SigmaY <= 0 {
+				return fmt.Errorf("hotpaths: observation %d: standard deviations must both be positive", i)
+			}
+		}
+		conv[i] = engine.Observation{
+			ObjectID: o.ObjectID,
+			P:        geom.Pt(o.X, o.Y),
+			T:        trajectory.Time(o.T),
+			SigmaX:   o.SigmaX,
+			SigmaY:   o.SigmaY,
+		}
+	}
+	return e.eng.ObserveBatch(conv)
+}
+
+// Tick advances the engine clock to now: the hotness window slides, and at
+// epoch boundaries — whenever the clock reaches or crosses a multiple of
+// Config.Epoch — the shards are drained and the coordinator processes the
+// merged report batch. Call it once per timestamp, after that timestamp's
+// observations; sparse clocks that jump over a boundary still trigger the
+// epoch.
+func (e *Engine) Tick(now int64) error {
+	return e.eng.Tick(trajectory.Time(now))
+}
+
+// Close drains and stops the shard goroutines. Queries remain valid after
+// Close; ingestion and Tick fail. It is idempotent and returns the first
+// unsurfaced processing error, if any.
+func (e *Engine) Close() error { return e.eng.Close() }
+
+// TopK returns the Config.K hottest motion paths, hottest first.
+func (e *Engine) TopK() []HotPath {
+	return convert(e.eng.TopK(e.cfg.K))
+}
+
+// HotPaths returns every live motion path, hottest first.
+func (e *Engine) HotPaths() []HotPath {
+	return convert(e.eng.AllPaths())
+}
+
+// Score returns the paper's quality metric over the current top-k set: the
+// average hotness×length.
+func (e *Engine) Score() float64 { return e.eng.Score(e.cfg.K) }
+
+// WriteGeoJSON writes every live motion path as a GeoJSON
+// FeatureCollection, hottest first, with hotness/length/score properties.
+func (e *Engine) WriteGeoJSON(w io.Writer) error {
+	return geojson.Write(w, geojson.FromHotPaths(e.eng.AllPaths()))
+}
+
+// Stats returns the engine's counters. While ingestion is in flight the
+// Observations/Reports counters are eventually consistent; after an
+// epoch-boundary Tick they exactly match a System fed the same input.
+func (e *Engine) Stats() Stats {
+	es := e.eng.Stats()
+	return Stats{
+		Observations: es.Observations,
+		Reports:      es.Reports,
+		Responses:    es.Responses,
+		PathsCreated: es.Coordinator.PathsCreated,
+		PathsExpired: es.Coordinator.PathsExpired,
+		Crossings:    es.Coordinator.Crossings,
+		IndexSize:    es.IndexSize,
+	}
+}

@@ -1,0 +1,6 @@
+package hotpaths
+
+// IngestWorkload exposes the deterministic random-walk workload generator
+// to the external benchmark package, so the correctness tests and the
+// ingest benchmarks exercise the same workload.
+var IngestWorkload = engineWorkload

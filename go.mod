@@ -1,0 +1,3 @@
+module hotpaths
+
+go 1.24

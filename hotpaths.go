@@ -28,6 +28,30 @@
 //		fmt.Println(hp.Start, "->", hp.End, "hotness", hp.Hotness)
 //	}
 //
+// # Concurrency: System vs Engine
+//
+// The package offers two deployments of the same architecture:
+//
+//   - System is single-goroutine: Observe, Tick and the queries must all be
+//     called from one goroutine. It is the right choice for simulation,
+//     trace replay, step-debugging, and any workload driven by a single
+//     loop — it has zero synchronisation overhead and its behaviour is
+//     trivially deterministic.
+//   - Engine (see NewEngine) is the concurrent, object-sharded realisation
+//     of the paper's distributed design: objects hash to shards, each shard
+//     goroutine owns a bank of RayTrace filters fed through a buffered
+//     queue, and reports funnel into a single coordinator at epoch
+//     boundaries. Observe/ObserveBatch are safe to call from many
+//     goroutines at once (observations for the same object must still be
+//     time-ordered by their producer), so Engine is the right choice when
+//     many producers push observations concurrently — e.g. the
+//     cmd/hotpathsd network daemon — or when ingest throughput matters.
+//
+// Both produce bit-identical hot paths, scores and counters when fed the
+// same observations in the same order, because the Engine merges shard
+// reports back into the single-threaded arrival order before the
+// coordinator processes an epoch.
+//
 // The full distributed simulation used by the paper's evaluation (road
 // network, moving-object workload, DP baseline, figure sweeps) lives in the
 // internal packages and is driven by the cmd/ tools and the benchmark
@@ -35,9 +59,12 @@
 package hotpaths
 
 import (
+	"errors"
 	"fmt"
+	"io"
 
 	"hotpaths/internal/coordinator"
+	"hotpaths/internal/geojson"
 	"hotpaths/internal/geom"
 	"hotpaths/internal/motion"
 	"hotpaths/internal/raytrace"
@@ -128,34 +155,48 @@ type System struct {
 	lastNow int64
 }
 
-// New validates cfg and creates an empty System.
-func New(cfg Config) (*System, error) {
+// withDefaults validates cfg and fills in the defaulted fields.
+func (cfg Config) withDefaults() (Config, error) {
 	if cfg.Eps <= 0 {
-		return nil, fmt.Errorf("hotpaths: Config.Eps must be positive, got %v", cfg.Eps)
+		return cfg, fmt.Errorf("hotpaths: Config.Eps must be positive, got %v", cfg.Eps)
 	}
 	if cfg.Delta < 0 || cfg.Delta >= 1 {
-		return nil, fmt.Errorf("hotpaths: Config.Delta must be in [0,1), got %v", cfg.Delta)
+		return cfg, fmt.Errorf("hotpaths: Config.Delta must be in [0,1), got %v", cfg.Delta)
 	}
 	if cfg.W <= 0 {
-		return nil, fmt.Errorf("hotpaths: Config.W must be positive, got %d", cfg.W)
+		return cfg, fmt.Errorf("hotpaths: Config.W must be positive, got %d", cfg.W)
 	}
 	if cfg.Epoch <= 0 {
-		return nil, fmt.Errorf("hotpaths: Config.Epoch must be positive, got %d", cfg.Epoch)
+		return cfg, fmt.Errorf("hotpaths: Config.Epoch must be positive, got %d", cfg.Epoch)
 	}
 	if cfg.K == 0 {
 		cfg.K = 10
 	}
+	return cfg, nil
+}
+
+// newCoordinator builds the coordinator tier for cfg.
+func (cfg Config) newCoordinator() (*coordinator.Coordinator, error) {
 	bounds := geom.Rect{
 		Lo: geom.Pt(cfg.Bounds.Min.X, cfg.Bounds.Min.Y),
 		Hi: geom.Pt(cfg.Bounds.Max.X, cfg.Bounds.Max.Y),
 	}
-	coord, err := coordinator.New(coordinator.Config{
+	return coordinator.New(coordinator.Config{
 		Bounds: bounds,
 		Cols:   cfg.GridCols,
 		Rows:   cfg.GridRows,
 		W:      trajectory.Time(cfg.W),
 		Eps:    cfg.Eps,
 	})
+}
+
+// New validates cfg and creates an empty System.
+func New(cfg Config) (*System, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	coord, err := cfg.newCoordinator()
 	if err != nil {
 		return nil, err
 	}
@@ -189,7 +230,7 @@ func (s *System) observe(objectID int, tp trajectory.TimePoint, sigmaX, sigmaY f
 	s.stats.Observations++
 	f, ok := s.filters[objectID]
 	if !ok {
-		s.filters[objectID] = raytrace.NewWithTolerance(tp, s.toleranceFunc(sigmaX, sigmaY))
+		s.filters[objectID] = raytrace.NewWithTolerance(tp, s.cfg.toleranceFunc(sigmaX, sigmaY))
 		return nil
 	}
 	st, report, err := f.Process(tp)
@@ -205,11 +246,11 @@ func (s *System) observe(objectID int, tp trajectory.TimePoint, sigmaX, sigmaY f
 // toleranceFunc builds the per-point tolerance model: the fixed ε square,
 // or the Gaussian (ε,δ) rectangle when Delta and sigmas are set. The
 // retroactive minimum of ε/10 guards against unsatisfiable noise levels.
-func (s *System) toleranceFunc(sigmaX, sigmaY float64) raytrace.ToleranceFunc {
-	if s.cfg.Delta <= 0 || sigmaX <= 0 || sigmaY <= 0 {
-		return raytrace.FixedTolerance(s.cfg.Eps)
+func (cfg Config) toleranceFunc(sigmaX, sigmaY float64) raytrace.ToleranceFunc {
+	if cfg.Delta <= 0 || sigmaX <= 0 || sigmaY <= 0 {
+		return raytrace.FixedTolerance(cfg.Eps)
 	}
-	eps, delta := s.cfg.Eps, s.cfg.Delta
+	eps, delta := cfg.Eps, cfg.Delta
 	return func(tp trajectory.TimePoint) geom.Rect {
 		m := uncertainty.Measurement{Mean: tp.P, SigmaX: sigmaX, SigmaY: sigmaY}
 		return uncertainty.ToleranceRectOrMin(m, eps, delta, eps/10)
@@ -222,35 +263,50 @@ func (s *System) enqueue(objectID int, st raytrace.State) {
 }
 
 // Tick advances the system clock to now: the hotness window slides, and at
-// epoch boundaries (now divisible by Config.Epoch) the coordinator
-// processes all pending reports and re-seeds the reporting filters. Call it
-// exactly once per timestamp, after that timestamp's Observes.
+// epoch boundaries — whenever the clock reaches or crosses a multiple of
+// Config.Epoch — the coordinator processes all pending reports and
+// re-seeds the reporting filters. Call it once per timestamp, after that
+// timestamp's Observes; sparse clocks that jump over a boundary still
+// trigger the epoch.
 func (s *System) Tick(now int64) error {
 	if now <= s.lastNow {
 		return fmt.Errorf("hotpaths: Tick(%d) after Tick(%d); time must advance", now, s.lastNow)
 	}
+	prev := s.lastNow
 	s.lastNow = now
 	s.coord.Advance(trajectory.Time(now))
-	if now%s.cfg.Epoch != 0 {
+	if now/s.cfg.Epoch == prev/s.cfg.Epoch {
 		return nil
 	}
 	batch := s.pending
 	s.pending = nil
 	resps, err := s.coord.ProcessEpoch(batch)
 	if err != nil {
+		// Validation is deterministic per report, so a rejected batch can
+		// never succeed later; it is dropped rather than wedging every
+		// future epoch. RayTrace filters cannot produce such reports.
 		return err
 	}
+	// A sparse clock that jumped more than W past the reports' exit
+	// timestamps makes the just-recorded crossings already stale; expire
+	// them now so TopK/Score never surface phantom hot paths.
+	s.coord.Advance(trajectory.Time(now))
+	var errs []error
 	for _, r := range resps {
 		s.stats.Responses++
 		st, report, err := s.filters[r.ObjectID].Respond(r.End)
 		if err != nil {
-			return fmt.Errorf("hotpaths: respond to object %d: %w", r.ObjectID, err)
+			// Respond validates before mutating, so the filter stays
+			// waiting; keep delivering the remaining responses rather than
+			// leaving other filters un-reseeded (mirrors Engine.Tick).
+			errs = append(errs, fmt.Errorf("hotpaths: respond to object %d: %w", r.ObjectID, err))
+			continue
 		}
 		if report {
 			s.enqueue(r.ObjectID, st)
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // TopK returns the Config.K hottest motion paths, hottest first.
@@ -266,6 +322,12 @@ func (s *System) HotPaths() []HotPath {
 // Score returns the paper's quality metric over the current top-k set: the
 // average hotness×length.
 func (s *System) Score() float64 { return s.coord.Score(s.cfg.K) }
+
+// WriteGeoJSON writes every live motion path as a GeoJSON
+// FeatureCollection, hottest first, with hotness/length/score properties.
+func (s *System) WriteGeoJSON(w io.Writer) error {
+	return geojson.Write(w, geojson.FromHotPaths(s.coord.AllPaths()))
+}
 
 // Stats returns the system's counters.
 func (s *System) Stats() Stats {

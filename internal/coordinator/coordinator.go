@@ -150,11 +150,10 @@ type candidatePath struct {
 // ProcessEpoch runs the SinglePath strategy over one epoch's batch of
 // reports and returns one response per report, in input order.
 func (c *Coordinator) ProcessEpoch(reports []Report) ([]Response, error) {
-	c.stats.Epochs++
-	c.stats.Reports += len(reports)
-
 	// Phase 0: candidate motion paths per object, and the Rall overlap
-	// structure over all reporting FSAs.
+	// structure over all reporting FSAs. Nothing on the coordinator is
+	// mutated until the whole batch has validated, so a rejected batch
+	// leaves the coordinator unchanged.
 	rall, err := overlap.NewSet(2 * c.cfg.Eps)
 	if err != nil {
 		return nil, err
@@ -186,6 +185,8 @@ func (c *Coordinator) ProcessEpoch(reports []Report) ([]Response, error) {
 	}
 
 	// Selection phase.
+	c.stats.Epochs++
+	c.stats.Reports += len(reports)
 	out := make([]Response, len(reports))
 	for i, r := range reports {
 		if len(cps[i]) > 0 {

@@ -1,0 +1,351 @@
+// Package engine implements the concurrent, object-sharded ingestion
+// pipeline behind hotpaths.Engine.
+//
+// # Architecture
+//
+// Observations hash by object id to one of N shards. Each shard is a
+// goroutine owning the RayTrace filters of its objects, fed through a
+// buffered queue, so per-object timestamp order is preserved (observations
+// for one object always land on one shard, and queues are FIFO per
+// sender). Filters run concurrently across shards; the coordinator tier
+// stays single-threaded.
+//
+// Every observation is stamped with a global sequence number when it
+// enters the engine. When a filter emits a state report, the report
+// carries the sequence number of the observation that triggered it. At an
+// epoch boundary Tick raises a flush barrier — a token per shard queue,
+// acknowledged once everything queued before it has been processed — then
+// gathers the shards' report buffers, sorts them by sequence number, and
+// prepends the follow-up reports produced by the previous epoch's
+// responses. That is exactly the batch order the single-threaded
+// hotpaths.System would have produced for the same input order, so the
+// coordinator's order-sensitive SinglePath processing yields bit-identical
+// paths, hotness and counters.
+//
+// # Synchronisation
+//
+// A single RWMutex protects the coordinator tier and the engine clock:
+// ingestion takes the read lock (many producers run concurrently, touching
+// only the sequence counter and the shard queues), while Tick and Close
+// take the write lock. While Tick holds the write lock no producer can
+// enqueue, so after the flush barrier the shard goroutines are guaranteed
+// idle and Tick may touch their filter banks directly — delivering epoch
+// responses without any per-message channel round trips. Queries
+// (TopK/AllPaths/Score/Stats) take the read lock: the coordinator is only
+// mutated under the write lock, so they are safe concurrently with
+// ingestion.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"hotpaths/internal/coordinator"
+	"hotpaths/internal/geom"
+	"hotpaths/internal/motion"
+	"hotpaths/internal/raytrace"
+	"hotpaths/internal/trajectory"
+)
+
+// ErrClosed is returned by operations on a closed engine.
+var ErrClosed = errors.New("engine: closed")
+
+// Observation is one location measurement. SigmaX/SigmaY, when positive,
+// carry the measurement's Gaussian noise for the (ε,δ) tolerance model.
+type Observation struct {
+	ObjectID       int
+	P              geom.Point
+	T              trajectory.Time
+	SigmaX, SigmaY float64
+}
+
+// Config parameterises an engine. The coordinator and tolerance factory
+// are built by the public hotpaths package so that System and Engine share
+// one configuration surface.
+type Config struct {
+	// Coord is the coordinator tier processing epoch batches (required).
+	Coord *coordinator.Coordinator
+
+	// Epoch is the coordinator cadence Λ in timestamps (required, positive).
+	Epoch trajectory.Time
+
+	// Tolerance builds the per-object tolerance model from the noise levels
+	// of the object's first observation (required).
+	Tolerance func(sigmaX, sigmaY float64) raytrace.ToleranceFunc
+
+	// Shards is the number of filter shards (default: GOMAXPROCS).
+	Shards int
+
+	// Buffer is the per-shard queue capacity in messages (default 256).
+	Buffer int
+}
+
+// Stats aggregates the engine's counters. While ingestion is in flight the
+// Observations/Reports counters are eventually consistent; after a Tick at
+// an epoch boundary they are exact.
+type Stats struct {
+	Observations int
+	Reports      int
+	Responses    int
+	IndexSize    int
+	Coordinator  coordinator.Stats
+}
+
+// Engine is the sharded ingestion pipeline. See the package comment for
+// the concurrency contract.
+type Engine struct {
+	cfg    Config
+	shards []*shard
+	seq    atomic.Uint64
+
+	mu        sync.RWMutex // write: Tick/Close; read: ingestion and queries
+	coord     *coordinator.Coordinator
+	lastNow   trajectory.Time
+	staged    []taggedReport       // shard reports collected but not yet processed
+	followUps []coordinator.Report // reports raised by the previous epoch's responses
+	responses int
+	followed  int // follow-up reports, counted into Stats.Reports
+	closed    bool
+}
+
+// New validates cfg and starts the shard goroutines.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Coord == nil {
+		return nil, fmt.Errorf("engine: Config.Coord is required")
+	}
+	if cfg.Epoch <= 0 {
+		return nil, fmt.Errorf("engine: Config.Epoch must be positive, got %d", cfg.Epoch)
+	}
+	if cfg.Tolerance == nil {
+		return nil, fmt.Errorf("engine: Config.Tolerance is required")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 256
+	}
+	e := &Engine{cfg: cfg, coord: cfg.Coord}
+	for i := 0; i < cfg.Shards; i++ {
+		s := newShard(cfg.Buffer, cfg.Tolerance)
+		e.shards = append(e.shards, s)
+		go s.run()
+	}
+	return e, nil
+}
+
+// Shards returns the shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// shardIndex hashes an object id to its shard (64-bit finalizer mix, so
+// adjacent ids spread evenly).
+func (e *Engine) shardIndex(objectID int) int {
+	h := uint64(objectID)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return int(h % uint64(len(e.shards)))
+}
+
+// Observe enqueues a single observation without the batching overhead of
+// ObserveBatch (no per-shard grouping allocations). See ObserveBatch for
+// the ordering contract.
+func (e *Engine) Observe(o Observation) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	one := obs{Observation: o, seq: e.seq.Add(1) - 1}
+	e.shards[e.shardIndex(o.ObjectID)].ch <- msg{one: one, hasOne: true}
+	return nil
+}
+
+// ObserveBatch enqueues a batch of observations, preserving their order
+// per object. It is safe to call from many goroutines, but observations
+// for the same object must be produced in timestamp order by a single
+// producer (or otherwise externally ordered). Processing is asynchronous:
+// per-observation errors (e.g. a non-increasing timestamp) surface from
+// the next epoch-boundary Tick.
+func (e *Engine) ObserveBatch(batch []Observation) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	n := uint64(len(batch))
+	base := e.seq.Add(n) - n
+	groups := make([][]obs, len(e.shards))
+	for i, o := range batch {
+		si := e.shardIndex(o.ObjectID)
+		groups[si] = append(groups[si], obs{Observation: o, seq: base + uint64(i)})
+	}
+	for si, g := range groups {
+		if len(g) > 0 {
+			e.shards[si].ch <- msg{obs: g}
+		}
+	}
+	return nil
+}
+
+// Tick advances the engine clock to now. The hotness window slides every
+// tick; at epoch boundaries — whenever the clock reaches or crosses a
+// multiple of Config.Epoch, so sparse client-driven clocks cannot skip an
+// epoch — the engine drains all shards, merges their reports back into
+// arrival order, runs the coordinator's SinglePath batch, and re-seeds the
+// reporting filters.
+// Tick must not be called concurrently with itself; it is safe
+// concurrently with ObserveBatch, but observations racing a Tick may only
+// be counted in a later epoch — callers wanting the System-identical
+// schedule must order Observe-before-Tick themselves.
+func (e *Engine) Tick(now trajectory.Time) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if now <= e.lastNow {
+		return fmt.Errorf("engine: Tick(%d) after Tick(%d); time must advance", now, e.lastNow)
+	}
+	prev := e.lastNow
+	e.lastNow = now
+	e.coord.Advance(now)
+	if now/e.cfg.Epoch == prev/e.cfg.Epoch {
+		return nil
+	}
+	e.drainLocked()
+
+	// Collect this epoch's shard reports and restore arrival order.
+	// Shard errors (e.g. one object's non-increasing timestamps) are
+	// informational — the bad observation was skipped, exactly as a
+	// System caller that ignores an Observe error would skip it — so the
+	// epoch still processes everyone else's reports.
+	var errs []error
+	for _, s := range e.shards {
+		e.staged = append(e.staged, s.reports...)
+		s.reports = nil
+		if s.err != nil {
+			errs = append(errs, fmt.Errorf("engine: %w", s.err))
+			s.err = nil
+		}
+	}
+	sort.Slice(e.staged, func(i, j int) bool { return e.staged[i].seq < e.staged[j].seq })
+
+	batch := make([]coordinator.Report, 0, len(e.followUps)+len(e.staged))
+	batch = append(batch, e.followUps...)
+	for _, tr := range e.staged {
+		batch = append(batch, tr.rep)
+	}
+	resps, err := e.coord.ProcessEpoch(batch)
+	e.staged = e.staged[:0]
+	e.followUps = nil
+	if err != nil {
+		// Validation is deterministic per report, so a rejected batch can
+		// never succeed later; it is dropped rather than wedging every
+		// future epoch (mirrors System.Tick). RayTrace filters cannot
+		// produce such reports.
+		errs = append(errs, err)
+		return errors.Join(errs...)
+	}
+	// A sparse clock that jumped more than W past the reports' exit
+	// timestamps makes the just-recorded crossings already stale; expire
+	// them now so TopK/Score never surface phantom hot paths.
+	e.coord.Advance(now)
+	for _, r := range resps {
+		e.responses++
+		st, report, err := e.shards[e.shardIndex(r.ObjectID)].filters[r.ObjectID].Respond(r.End)
+		if err != nil {
+			// Respond validates before mutating, so the filter stays
+			// waiting; keep delivering the remaining responses rather
+			// than leaving other filters un-reseeded.
+			errs = append(errs, fmt.Errorf("engine: respond to object %d: %w", r.ObjectID, err))
+			continue
+		}
+		if report {
+			e.followUps = append(e.followUps, coordinator.Report{ObjectID: r.ObjectID, State: st})
+			e.followed++
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// drainLocked flushes every shard queue and waits until all shards are
+// idle. Caller holds the write lock, so no new work can be enqueued.
+func (e *Engine) drainLocked() {
+	acks := make([]chan struct{}, len(e.shards))
+	for i, s := range e.shards {
+		acks[i] = make(chan struct{})
+		s.ch <- msg{flush: acks[i]}
+	}
+	for _, ack := range acks {
+		<-ack
+	}
+}
+
+// Close drains the shards and stops their goroutines. Queries remain
+// valid after Close, reflecting the last processed epoch; ingestion and
+// Tick return ErrClosed. Close returns the first unprocessed shard error,
+// if any. It is idempotent.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	e.drainLocked()
+	var firstErr error
+	for _, s := range e.shards {
+		if s.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("engine: %w", s.err)
+		}
+		close(s.ch)
+		<-s.done
+	}
+	return firstErr
+}
+
+// TopK returns the k hottest motion paths, hottest first.
+func (e *Engine) TopK(k int) []motion.HotPath {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.coord.TopK(k)
+}
+
+// AllPaths returns every live motion path, hottest first.
+func (e *Engine) AllPaths() []motion.HotPath {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.coord.AllPaths()
+}
+
+// Score returns the paper's quality metric over the current top-k set.
+func (e *Engine) Score(k int) float64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.coord.Score(k)
+}
+
+// Stats returns the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	st := Stats{
+		Responses:   e.responses,
+		Reports:     e.followed,
+		IndexSize:   e.coord.IndexSize(),
+		Coordinator: e.coord.Stats(),
+	}
+	for _, s := range e.shards {
+		st.Observations += int(s.observed.Load())
+		st.Reports += int(s.reported.Load())
+	}
+	return st
+}

@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"hotpaths/internal/coordinator"
+	"hotpaths/internal/raytrace"
+	"hotpaths/internal/trajectory"
+)
+
+// obs is an Observation tagged with its global ingestion sequence number,
+// assigned when the observation entered the engine. Sequence numbers
+// restore the single-threaded arrival order when shard reports are merged
+// at an epoch boundary.
+type obs struct {
+	Observation
+	seq uint64
+}
+
+// taggedReport is a RayTrace state message remembering the sequence number
+// of the observation that triggered it.
+type taggedReport struct {
+	seq uint64
+	rep coordinator.Report
+}
+
+// msg is one unit of work on a shard's queue: a batch of observations, a
+// single inline observation (hasOne, the allocation-free Observe path), or
+// a flush token (non-nil flush) the shard closes once everything queued
+// before it has been processed.
+type msg struct {
+	obs    []obs
+	one    obs
+	hasOne bool
+	flush  chan struct{}
+}
+
+// shard owns the RayTrace filters for the objects that hash to it. All
+// fields below the channel are owned by the shard goroutine while it runs;
+// the engine touches them only between a flush barrier and the next send,
+// which the channel synchronisation orders correctly.
+type shard struct {
+	ch   chan msg
+	done chan struct{}
+	tol  func(sigmaX, sigmaY float64) raytrace.ToleranceFunc
+
+	filters map[int]*raytrace.Filter
+	reports []taggedReport
+	err     error // first processing error since the last barrier
+
+	// Monotone counters, atomic so Stats can read them mid-flight.
+	observed atomic.Int64
+	reported atomic.Int64
+}
+
+func newShard(buffer int, tol func(sigmaX, sigmaY float64) raytrace.ToleranceFunc) *shard {
+	return &shard{
+		ch:      make(chan msg, buffer),
+		done:    make(chan struct{}),
+		tol:     tol,
+		filters: make(map[int]*raytrace.Filter),
+	}
+}
+
+// run is the shard goroutine: drain the queue, acking flush tokens in
+// order. It exits when the channel is closed.
+func (s *shard) run() {
+	defer close(s.done)
+	for m := range s.ch {
+		switch {
+		case m.flush != nil:
+			close(m.flush)
+		case m.hasOne:
+			s.process(m.one)
+		default:
+			for _, o := range m.obs {
+				s.process(o)
+			}
+		}
+	}
+}
+
+// process mirrors System.observe: the first observation of an object seeds
+// its filter, later ones step the SSA, and violations queue a report for
+// the next epoch.
+func (s *shard) process(o obs) {
+	s.observed.Add(1)
+	tp := trajectory.TP(o.P, o.T)
+	f, ok := s.filters[o.ObjectID]
+	if !ok {
+		s.filters[o.ObjectID] = raytrace.NewWithTolerance(tp, s.tol(o.SigmaX, o.SigmaY))
+		return
+	}
+	st, report, err := f.Process(tp)
+	if err != nil {
+		if s.err == nil {
+			s.err = fmt.Errorf("object %d: %w", o.ObjectID, err)
+		}
+		return
+	}
+	if report {
+		s.reports = append(s.reports, taggedReport{
+			seq: o.seq,
+			rep: coordinator.Report{ObjectID: o.ObjectID, State: st},
+		})
+		s.reported.Add(1)
+	}
+}

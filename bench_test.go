@@ -407,6 +407,86 @@ func BenchmarkEngineIngest(b *testing.B) {
 	}
 }
 
+// --- Snapshot query path: region scans and top-k over large snapshots ---
+
+// benchSnapshot builds an n-path snapshot of short random paths spread
+// over a 16 km square, hotness zipf-ish so sorting and min-hotness cuts
+// have realistic shape.
+func benchSnapshot(n int) hotpaths.Snapshot {
+	rng := rand.New(rand.NewSource(31))
+	bounds := hotpaths.Rect{Min: hotpaths.Pt(0, 0), Max: hotpaths.Pt(16000, 16000)}
+	paths := make([]hotpaths.HotPath, n)
+	for i := range paths {
+		sx, sy := rng.Float64()*16000, rng.Float64()*16000
+		paths[i] = hotpaths.HotPath{
+			ID:      uint64(i),
+			Start:   hotpaths.Pt(sx, sy),
+			End:     hotpaths.Pt(sx+rng.Float64()*100-50, sy+rng.Float64()*100-50),
+			Hotness: 1 + rng.Intn(64)/(1+rng.Intn(8)),
+		}
+	}
+	return hotpaths.NewBenchSnapshot(paths, bounds, 64, 64, 10)
+}
+
+// BenchmarkSnapshotQuery measures the read side of the API: top-k and
+// viewport (bbox) queries over 10k/100k-path snapshots. region-linear is
+// the brute-force baseline the grid-index range scan must beat.
+func BenchmarkSnapshotQuery(b *testing.B) {
+	for _, n := range []int{10_000, 100_000} {
+		snap := benchSnapshot(n)
+		rng := rand.New(rand.NewSource(37))
+		viewports := make([]hotpaths.Rect, 64)
+		for i := range viewports {
+			lo := hotpaths.Pt(rng.Float64()*15800, rng.Float64()*15800)
+			viewports[i] = hotpaths.Rect{Min: lo, Max: hotpaths.Pt(lo.X+200, lo.Y+200)}
+		}
+		// Warm the lazy region index outside the timed sections.
+		snap.Query(hotpaths.Query{}.Region(viewports[0]))
+		all := snap.HotPaths()
+
+		b.Run(fmt.Sprintf("paths=%d/topk", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if got := snap.Query(hotpaths.Query{}.K(10)); len(got) != 10 {
+					b.Fatalf("topk returned %d", len(got))
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("paths=%d/region-grid", n), func(b *testing.B) {
+			found := 0
+			for i := 0; i < b.N; i++ {
+				found += len(snap.Query(hotpaths.Query{}.Region(viewports[i%len(viewports)])))
+			}
+			reportMatchRate(b, found)
+		})
+		b.Run(fmt.Sprintf("paths=%d/region-linear", n), func(b *testing.B) {
+			found := 0
+			for i := 0; i < b.N; i++ {
+				r := viewports[i%len(viewports)]
+				for _, hp := range all {
+					if hp.End.X >= r.Min.X && hp.End.X <= r.Max.X &&
+						hp.End.Y >= r.Min.Y && hp.End.Y <= r.Max.Y {
+						found++
+					}
+				}
+			}
+			reportMatchRate(b, found)
+		})
+		b.Run(fmt.Sprintf("paths=%d/region-topk-score", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				snap.Query(hotpaths.Query{}.
+					Region(viewports[i%len(viewports)]).
+					SortBy(hotpaths.ByScore).
+					K(10))
+			}
+		})
+	}
+}
+
+func reportMatchRate(b *testing.B, found int) {
+	b.Helper()
+	b.ReportMetric(float64(found)/float64(b.N), "matches/op")
+}
+
 func reportObsRate(b *testing.B, obsPerIter int) {
 	b.Helper()
 	if sec := b.Elapsed().Seconds(); sec > 0 {

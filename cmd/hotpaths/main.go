@@ -14,9 +14,16 @@
 // ignoring the workload flags:
 //
 //	hotpaths -trace trace.txt [-eps 10] [-w 100] [-epoch 10] [-k 10]
+//	         [-engine] [-json]
+//
+// The replay drives the hotpaths.Source interface, so -engine swaps the
+// single-goroutine System for the concurrent sharded Engine without
+// touching the replay loop; results are bit-identical. -json prints the
+// final top-k in the canonical PathJSON wire form instead of a table.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -46,6 +53,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		netFile  = flag.String("net", "", "road network file (default: generate Athens-like)")
 		traceIn  = flag.String("trace", "", "replay a recorded measurement trace instead of simulating")
+		useEng   = flag.Bool("engine", false, "replay through the concurrent Engine instead of the System")
+		jsonOut  = flag.Bool("json", false, "print replay results as canonical PathJSON")
 		iid      = flag.Bool("iid", false, "use the literal i.i.d. agility model instead of traffic lights")
 		runDP    = flag.Bool("dp", false, "also run the DP benchmark")
 		quiet    = flag.Bool("quiet", false, "suppress per-epoch rows")
@@ -53,7 +62,7 @@ func main() {
 	flag.Parse()
 
 	if *traceIn != "" {
-		if err := replayTrace(*traceIn, *eps, *w, *epoch, *k); err != nil {
+		if err := replayTrace(*traceIn, *eps, *w, *epoch, *k, *useEng, *jsonOut); err != nil {
 			fatal(err)
 		}
 		return
@@ -141,8 +150,9 @@ func main() {
 }
 
 // replayTrace feeds a recorded trace through the public API and prints the
-// resulting top-k.
-func replayTrace(path string, eps float64, w, epoch int64, k int) error {
+// resulting top-k. The loop is written against hotpaths.Source, so the
+// System and Engine deployments replay identically.
+func replayTrace(path string, eps float64, w, epoch int64, k int, useEngine, jsonOut bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -163,15 +173,27 @@ func replayTrace(path string, eps float64, w, epoch int64, k int) error {
 		lo = lo.Min(r.TP.P)
 		hi = hi.Max(r.TP.P)
 	}
-	sys, err := hotpaths.New(hotpaths.Config{
+	cfg := hotpaths.Config{
 		Eps:    eps,
 		W:      w,
 		Epoch:  epoch,
 		K:      k,
 		Bounds: hotpaths.Rect{Min: hotpaths.Pt(lo.X-eps, lo.Y-eps), Max: hotpaths.Pt(hi.X+eps, hi.Y+eps)},
-	})
-	if err != nil {
-		return err
+	}
+	var src hotpaths.Source
+	if useEngine {
+		eng, err := hotpaths.NewEngine(hotpaths.EngineConfig{Config: cfg})
+		if err != nil {
+			return err
+		}
+		defer eng.Close()
+		src = eng
+	} else {
+		sys, err := hotpaths.New(cfg)
+		if err != nil {
+			return err
+		}
+		src = sys
 	}
 	// Walk every timestamp so epochs fire on schedule even through silent
 	// stretches; records are time-ordered, so a single cursor suffices.
@@ -180,23 +202,30 @@ func replayTrace(path string, eps float64, w, epoch int64, k int) error {
 	for t := int64(1); t <= endT; t++ {
 		for i < len(recs) && int64(recs[i].TP.T) == t {
 			r := recs[i]
-			if err := sys.Observe(r.ObjectID, r.TP.P.X, r.TP.P.Y, t); err != nil {
+			if err := src.Observe(r.ObjectID, r.TP.P.X, r.TP.P.Y, t); err != nil {
 				return err
 			}
 			i++
 		}
-		if err := sys.Tick(t); err != nil {
+		if err := src.Tick(t); err != nil {
 			return err
 		}
 	}
 
-	st := sys.Stats()
+	// One snapshot answers every read consistently.
+	snap := src.Snapshot()
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(hotpaths.PathsJSON(snap.TopK()))
+	}
+	st := snap.Stats()
 	fmt.Printf("replayed %d measurements: %d reports, %d paths live\n",
 		st.Observations, st.Reports, st.IndexSize)
 	fmt.Printf("\ntop-%d hottest motion paths:\n", k)
 	var tb stats.Table
 	tb.AddRow("id", "hotness", "length-m", "score")
-	for _, hp := range sys.TopK() {
+	for _, hp := range snap.TopK() {
 		tb.AddRow(
 			fmt.Sprintf("%d", hp.ID),
 			fmt.Sprintf("%d", hp.Hotness),

@@ -11,10 +11,19 @@
 //
 //	POST /observe        {"observations":[{"object":1,"x":10,"y":20,"t":3}], "tick":3}
 //	POST /tick           {"now": 4}
-//	GET  /topk           current top-k hottest paths as JSON
-//	GET  /paths.geojson  every live path as a GeoJSON FeatureCollection
+//	GET  /topk           top-k hottest paths as JSON (k defaults to -k)
+//	GET  /paths          every live path as JSON
+//	GET  /paths.geojson  live paths as a GeoJSON FeatureCollection
 //	GET  /stats          ingestion and coordinator counters
 //	GET  /healthz        liveness probe
+//
+// The three read endpoints answer from one consistent engine snapshot per
+// request and share the query parameters
+//
+//	k=10 | limit=10                   cap the result (k defaults to -k on /topk)
+//	min_hotness=3                     only paths with hotness >= 3
+//	bbox=minx,miny,maxx,maxy          only paths ending inside the box
+//	sort=hotness|score                rank by hotness (default) or hotness×length
 //
 // Time is logical and client-driven: producers POST observation batches
 // for a timestamp, then advance the clock (inline via "tick", or from a

@@ -1,32 +1,75 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"hotpaths"
 )
 
-// server wires the Engine to the HTTP surface. All handler state lives in
-// the Engine, which is safe for concurrent use; the server itself is
-// stateless beyond its start time.
+// server wires the Engine to the HTTP surface. Ingestion state lives in
+// the Engine, which is safe for concurrent use; the server only adds its
+// start time and a read-side snapshot cache.
 type server struct {
 	eng     *hotpaths.Engine
 	started time.Time
+
+	// gen counts writes (observe/tick). Readers reuse one cached snapshot
+	// — and the region grid built inside it — until a write bumps gen, so
+	// a burst of concurrent queries costs one O(paths) copy, not one per
+	// request.
+	gen    atomic.Uint64
+	mu     sync.Mutex
+	cached *cachedSnapshot
+}
+
+type cachedSnapshot struct {
+	snap hotpaths.Snapshot
+	gen  uint64
 }
 
 func newServer(eng *hotpaths.Engine) *server {
 	return &server{eng: eng, started: time.Now()}
 }
 
+// snapshot returns the cached engine snapshot, taking a fresh one when a
+// write has happened since it was cached. A snapshot taken concurrently
+// with a write is served to its own request but not cached: the
+// generation check guarantees the cache never pins a view older than the
+// last completed write.
+func (s *server) snapshot() hotpaths.Snapshot {
+	g := s.gen.Load()
+	s.mu.Lock()
+	c := s.cached
+	s.mu.Unlock()
+	if c != nil && c.gen == g {
+		return c.snap
+	}
+	snap := s.eng.Snapshot()
+	s.mu.Lock()
+	if s.gen.Load() == g {
+		s.cached = &cachedSnapshot{snap: snap, gen: g}
+	}
+	s.mu.Unlock()
+	return snap
+}
+
+// invalidate marks the cached snapshot stale after a write.
+func (s *server) invalidate() { s.gen.Add(1) }
+
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /observe", s.handleObserve)
 	mux.HandleFunc("POST /tick", s.handleTick)
 	mux.HandleFunc("GET /topk", s.handleTopK)
+	mux.HandleFunc("GET /paths", s.handlePaths)
 	mux.HandleFunc("GET /paths.geojson", s.handleGeoJSON)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -54,21 +97,6 @@ type observeRequest struct {
 
 type tickRequest struct {
 	Now int64 `json:"now"`
-}
-
-type pointJSON struct {
-	X float64 `json:"x"`
-	Y float64 `json:"y"`
-}
-
-type pathJSON struct {
-	ID      uint64    `json:"id"`
-	Rank    int       `json:"rank"`
-	Hotness int       `json:"hotness"`
-	Length  float64   `json:"length"`
-	Score   float64   `json:"score"`
-	Start   pointJSON `json:"start"`
-	End     pointJSON `json:"end"`
 }
 
 // maxRequestBytes caps request bodies so one oversized batch cannot
@@ -109,9 +137,12 @@ func (s *server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	s.invalidate()
 	resp := map[string]any{"accepted": len(batch)}
 	if req.Tick > 0 {
-		if err := s.eng.Tick(req.Tick); err != nil {
+		err := s.eng.Tick(req.Tick)
+		s.invalidate()
+		if err != nil {
 			// The batch was already ingested; report that alongside the
 			// tick failure so clients don't re-send the observations.
 			writeJSON(w, http.StatusBadRequest, map[string]any{
@@ -130,21 +161,106 @@ func (s *server) handleTick(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	if err := s.eng.Tick(req.Now); err != nil {
+	err := s.eng.Tick(req.Now)
+	s.invalidate()
+	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"now": req.Now})
 }
 
-func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, toPathJSON(s.eng.TopK()))
+// queryParams builds a hotpaths.Query from the shared URL parameters
+// k (or limit), min_hotness, bbox=minx,miny,maxx,maxy and
+// sort=hotness|score. defaultK caps the result when no k is given
+// (0 means unlimited).
+func queryParams(r *http.Request, defaultK int) (hotpaths.Query, error) {
+	q := hotpaths.Query{}
+	vals := r.URL.Query()
+	if vals.Get("k") != "" && vals.Get("limit") != "" {
+		return q, fmt.Errorf("k and limit are aliases; pass only one")
+	}
+	k := defaultK
+	for _, name := range []string{"k", "limit"} {
+		if s := vals.Get(name); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 0 {
+				return q, fmt.Errorf("%s must be a non-negative integer, got %q", name, s)
+			}
+			k = n
+		}
+	}
+	q = q.K(k)
+	if s := vals.Get("min_hotness"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			return q, fmt.Errorf("min_hotness must be a non-negative integer, got %q", s)
+		}
+		q = q.MinHotness(n)
+	}
+	if s := vals.Get("bbox"); s != "" {
+		rect, err := parseBounds(s)
+		if err != nil {
+			return q, fmt.Errorf("bbox: %w", err)
+		}
+		if rect.Max.X < rect.Min.X || rect.Max.Y < rect.Min.Y {
+			return q, fmt.Errorf("bbox %q has max < min", s)
+		}
+		q = q.Region(rect)
+	}
+	switch s := vals.Get("sort"); s {
+	case "", "hotness":
+		q = q.SortBy(hotpaths.ByHotness)
+	case "score":
+		q = q.SortBy(hotpaths.ByScore)
+	default:
+		return q, fmt.Errorf("sort must be \"hotness\" or \"score\", got %q", s)
+	}
+	return q, nil
 }
 
+// handleTopK serves GET /topk: the k hottest paths (k defaults to the
+// engine's Config.K), optionally restricted by bbox/min_hotness and
+// re-ranked by sort=score.
+func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	q, err := queryParams(r, s.eng.Config().K)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, hotpaths.PathsJSON(s.snapshot().Query(q)))
+}
+
+// handlePaths serves GET /paths: every live path, with the same
+// k/min_hotness/bbox/sort selection as /topk but no default cap.
+func (s *server) handlePaths(w http.ResponseWriter, r *http.Request) {
+	q, err := queryParams(r, 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, hotpaths.PathsJSON(s.snapshot().Query(q)))
+}
+
+// handleGeoJSON serves GET /paths.geojson, accepting the same bbox and
+// limit parameters. The FeatureCollection is buffered before the first
+// byte is written — it is bounded by the live index size — so an encoding
+// failure still returns a proper 500 instead of a truncated body after
+// headers are gone.
 func (s *server) handleGeoJSON(w http.ResponseWriter, r *http.Request) {
+	q, err := queryParams(r, 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := hotpaths.WriteGeoJSON(&buf, s.snapshot().Query(q)); err != nil {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("encode geojson: %w", err))
+		return
+	}
 	w.Header().Set("Content-Type", "application/geo+json")
-	if err := s.eng.WriteGeoJSON(w); err != nil {
-		// Headers are gone; all we can do is log.
+	if _, err := buf.WriteTo(w); err != nil {
+		// The client went away mid-response; nothing left to salvage.
 		logf("write geojson: %v", err)
 	}
 }
@@ -166,22 +282,6 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
-}
-
-func toPathJSON(paths []hotpaths.HotPath) []pathJSON {
-	out := make([]pathJSON, len(paths))
-	for i, hp := range paths {
-		out[i] = pathJSON{
-			ID:      hp.ID,
-			Rank:    i + 1,
-			Hotness: hp.Hotness,
-			Length:  hp.Length(),
-			Score:   hp.Score(),
-			Start:   pointJSON{hp.Start.X, hp.Start.Y},
-			End:     pointJSON{hp.End.X, hp.End.Y},
-		}
-	}
-	return out
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

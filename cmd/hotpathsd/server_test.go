@@ -3,8 +3,10 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"testing"
 
 	"hotpaths"
@@ -84,7 +86,7 @@ func TestObserveAndTopK(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("topk: %d %s", rec.Code, rec.Body.String())
 	}
-	paths := decode[[]pathJSON](t, rec)
+	paths := decode[[]hotpaths.PathJSON](t, rec)
 	if len(paths) == 0 {
 		t.Fatal("no hot paths discovered through the HTTP surface")
 	}
@@ -230,6 +232,154 @@ func TestSparseTickTriggersEpoch(t *testing.T) {
 	st := decode[map[string]any](t, rec)
 	if st["responses"].(float64) == 0 {
 		t.Errorf("epoch was skipped: %v", rec.Body.String())
+	}
+}
+
+// The /topk query parameters must compose: k caps, min_hotness filters,
+// bbox restricts to end vertices inside the box, sort=score re-ranks.
+func TestTopKQueryParams(t *testing.T) {
+	h := newTestHandler(t)
+	feedZigZag(t, h)
+
+	all := decode[[]hotpaths.PathJSON](t, do(t, h, http.MethodGet, "/paths", nil))
+	if len(all) < 2 {
+		t.Fatalf("workload too tame: %d paths", len(all))
+	}
+
+	if got := decode[[]hotpaths.PathJSON](t, do(t, h, http.MethodGet, "/topk?k=1", nil)); len(got) != 1 {
+		t.Errorf("k=1 returned %d paths", len(got))
+	}
+
+	rec := do(t, h, http.MethodGet, "/topk?min_hotness=2&k=1000", nil)
+	for _, p := range decode[[]hotpaths.PathJSON](t, rec) {
+		if p.Hotness < 2 {
+			t.Errorf("min_hotness=2 returned hotness %d", p.Hotness)
+		}
+	}
+
+	// bbox around one path's end vertex must return that path and only
+	// paths ending inside the box.
+	target := all[0]
+	bbox := fmt.Sprintf("bbox=%g,%g,%g,%g",
+		target.End.X-1, target.End.Y-1, target.End.X+1, target.End.Y+1)
+	got := decode[[]hotpaths.PathJSON](t, do(t, h, http.MethodGet, "/topk?k=1000&"+bbox, nil))
+	found := false
+	for _, p := range got {
+		if p.ID == target.ID {
+			found = true
+		}
+		if p.End.X < target.End.X-1 || p.End.X > target.End.X+1 ||
+			p.End.Y < target.End.Y-1 || p.End.Y > target.End.Y+1 {
+			t.Errorf("bbox query returned out-of-box end %+v", p.End)
+		}
+	}
+	if !found {
+		t.Errorf("bbox query around path %d missed it: %+v", target.ID, got)
+	}
+
+	scored := decode[[]hotpaths.PathJSON](t, do(t, h, http.MethodGet, "/topk?sort=score&k=1000", nil))
+	for i := 1; i < len(scored); i++ {
+		if scored[i].Score > scored[i-1].Score {
+			t.Errorf("sort=score not descending at %d: %v > %v", i, scored[i].Score, scored[i-1].Score)
+		}
+	}
+
+	for _, bad := range []string{"k=-1", "k=x", "min_hotness=-2", "bbox=1,2,3", "bbox=9,9,1,1", "sort=sideways", "k=3&limit=5"} {
+		if rec := do(t, h, http.MethodGet, "/topk?"+bad, nil); rec.Code != http.StatusBadRequest {
+			t.Errorf("/topk?%s: %d, want 400", bad, rec.Code)
+		}
+	}
+}
+
+// The read side caches one snapshot between writes: repeated reads agree,
+// and a write (observe+tick) refreshes the view.
+func TestSnapshotCacheInvalidation(t *testing.T) {
+	h := newTestHandler(t)
+	feedZigZag(t, h)
+
+	first := decode[[]hotpaths.PathJSON](t, do(t, h, http.MethodGet, "/paths", nil))
+	again := decode[[]hotpaths.PathJSON](t, do(t, h, http.MethodGet, "/paths", nil))
+	if len(first) == 0 {
+		t.Fatal("no paths after zig-zag")
+	}
+	if !reflect.DeepEqual(first, again) {
+		t.Error("two reads with no write in between disagree")
+	}
+
+	// Silence past the window (W=100): every crossing expires, so the
+	// refreshed snapshot must be empty.
+	if rec := do(t, h, http.MethodPost, "/tick", tickRequest{Now: 400}); rec.Code != http.StatusOK {
+		t.Fatalf("tick: %d", rec.Code)
+	}
+	after := decode[[]hotpaths.PathJSON](t, do(t, h, http.MethodGet, "/paths", nil))
+	if len(after) != 0 {
+		t.Errorf("stale snapshot served after tick: %d paths, want 0", len(after))
+	}
+}
+
+// /paths returns every live path (no default cap), consistent with /stats.
+func TestPathsEndpoint(t *testing.T) {
+	h := newTestHandler(t)
+	feedZigZag(t, h)
+
+	rec := do(t, h, http.MethodGet, "/paths", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("paths: %d %s", rec.Code, rec.Body.String())
+	}
+	paths := decode[[]hotpaths.PathJSON](t, rec)
+	st := decode[map[string]any](t, do(t, h, http.MethodGet, "/stats", nil))
+	if want := int(st["index_size"].(float64)); len(paths) != want {
+		t.Errorf("/paths returned %d paths, index_size is %d", len(paths), want)
+	}
+	for i, p := range paths {
+		if p.Rank != i+1 {
+			t.Errorf("rank %d at position %d", p.Rank, i)
+		}
+	}
+}
+
+// /paths.geojson accepts bbox and limit and rejects malformed parameters
+// before any body is written.
+func TestGeoJSONQueryParams(t *testing.T) {
+	h := newTestHandler(t)
+	feedZigZag(t, h)
+
+	rec := do(t, h, http.MethodGet, "/paths.geojson?limit=1", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("paths.geojson?limit=1: %d", rec.Code)
+	}
+	var fc struct {
+		Features []json.RawMessage `json:"features"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &fc); err != nil {
+		t.Fatal(err)
+	}
+	if len(fc.Features) != 1 {
+		t.Errorf("limit=1 returned %d features", len(fc.Features))
+	}
+
+	if rec := do(t, h, http.MethodGet, "/paths.geojson?bbox=nope", nil); rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed bbox: %d, want 400", rec.Code)
+	}
+	// An empty result must still be a valid FeatureCollection: RFC 7946
+	// requires a "features" array, so null is not acceptable.
+	rec = do(t, h, http.MethodGet, "/paths.geojson?bbox=90000,90000,90001,90001", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("far-away bbox: %d", rec.Code)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	feats, ok := raw["features"]
+	if !ok || string(feats) == "null" {
+		t.Errorf("empty collection must encode \"features\": [], got %s", feats)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &fc); err != nil {
+		t.Fatal(err)
+	}
+	if len(fc.Features) != 0 {
+		t.Errorf("far-away bbox returned %d features", len(fc.Features))
 	}
 }
 

@@ -5,7 +5,6 @@ import (
 	"io"
 
 	"hotpaths/internal/engine"
-	"hotpaths/internal/geojson"
 	"hotpaths/internal/geom"
 	"hotpaths/internal/trajectory"
 )
@@ -151,31 +150,41 @@ func (e *Engine) Tick(now int64) error {
 // unsurfaced processing error, if any.
 func (e *Engine) Close() error { return e.eng.Close() }
 
-// TopK returns the Config.K hottest motion paths, hottest first.
+// Config returns the engine's configuration with defaults applied.
+func (e *Engine) Config() Config { return e.cfg }
+
+// TopK returns the Config.K hottest motion paths, hottest first. It is a
+// live accessor — shorthand for Snapshot().TopK(); use Snapshot directly
+// when several reads must agree on one instant.
 func (e *Engine) TopK() []HotPath {
-	return convert(e.eng.TopK(e.cfg.K))
+	return e.Snapshot().TopK()
 }
 
-// HotPaths returns every live motion path, hottest first.
+// HotPaths returns every live motion path, hottest first. Shorthand for
+// Snapshot().HotPaths().
 func (e *Engine) HotPaths() []HotPath {
-	return convert(e.eng.AllPaths())
+	return e.Snapshot().HotPaths()
 }
 
 // Score returns the paper's quality metric over the current top-k set: the
-// average hotness×length.
-func (e *Engine) Score() float64 { return e.eng.Score(e.cfg.K) }
+// average hotness×length. Shorthand for Snapshot().Score().
+func (e *Engine) Score() float64 { return e.Snapshot().Score() }
 
 // WriteGeoJSON writes every live motion path as a GeoJSON
 // FeatureCollection, hottest first, with hotness/length/score properties.
+// Shorthand for Snapshot().WriteGeoJSON(w).
 func (e *Engine) WriteGeoJSON(w io.Writer) error {
-	return geojson.Write(w, geojson.FromHotPaths(e.eng.AllPaths()))
+	return e.Snapshot().WriteGeoJSON(w)
 }
 
 // Stats returns the engine's counters. While ingestion is in flight the
 // Observations/Reports counters are eventually consistent; after an
 // epoch-boundary Tick they exactly match a System fed the same input.
 func (e *Engine) Stats() Stats {
-	es := e.eng.Stats()
+	return convertStats(e.eng.Stats())
+}
+
+func convertStats(es engine.Stats) Stats {
 	return Stats{
 		Observations: es.Observations,
 		Reports:      es.Reports,

@@ -94,11 +94,15 @@ func main() {
 		}
 	}
 
-	st := eng.Stats()
+	// Snapshot captures paths, counters and clock at one consistent point
+	// under the engine lock; it is safe to query from any goroutine while
+	// producers keep ingesting.
+	snap := eng.Snapshot()
+	st := snap.Stats()
 	fmt.Printf("ingested %d observations over %d shards: %d reports, %d paths live\n",
 		st.Observations, eng.Shards(), st.Reports, st.IndexSize)
 	fmt.Println("hottest motion paths:")
-	for _, hp := range eng.TopK() {
+	for _, hp := range snap.TopK() {
 		fmt.Printf("  #%d  hotness %d  length %.0fm  (%.0f,%.0f) -> (%.0f,%.0f)\n",
 			hp.ID, hp.Hotness, hp.Length(),
 			hp.Start.X, hp.Start.Y, hp.End.X, hp.End.Y)

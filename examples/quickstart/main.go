@@ -71,16 +71,33 @@ func main() {
 		}
 	}
 
-	st := sys.Stats()
+	// One immutable snapshot answers every read from the same instant —
+	// counters, top-k and spatial queries can never disagree.
+	snap := sys.Snapshot()
+	st := snap.Stats()
 	fmt.Printf("observations: %d, reports to coordinator: %d (%.1f%% suppressed by RayTrace)\n",
 		st.Observations, st.Reports,
 		100*(1-float64(st.Reports)/float64(st.Observations)))
-	fmt.Printf("motion paths stored: %d\n\n", st.IndexSize)
+	fmt.Printf("motion paths stored: %d\n\n", snap.Len())
 
 	fmt.Println("top hot motion paths (hotness = commuters crossing within the window):")
-	for i, hp := range sys.TopK() {
+	for i, hp := range snap.TopK() {
 		fmt.Printf("%d. (%.0f,%.0f) -> (%.0f,%.0f)  hotness=%d  length=%.0fm  score=%.0f\n",
 			i+1, hp.Start.X, hp.Start.Y, hp.End.X, hp.End.Y,
 			hp.Hotness, hp.Length(), hp.Score())
+	}
+
+	// Composable queries select over the same snapshot: here, the busiest
+	// stretches by score among the paths ending near the destination.
+	dest := hotpaths.Rect{Min: hotpaths.Pt(700, 700), Max: hotpaths.Pt(900, 900)}
+	busy := snap.Query(hotpaths.Query{}.
+		Region(dest).
+		MinHotness(2).
+		SortBy(hotpaths.ByScore).
+		K(3))
+	fmt.Printf("\nbusiest paths ending near the destination %v:\n", dest)
+	for i, hp := range busy {
+		fmt.Printf("%d. (%.0f,%.0f) -> (%.0f,%.0f)  hotness=%d  score=%.0f\n",
+			i+1, hp.Start.X, hp.Start.Y, hp.End.X, hp.End.Y, hp.Hotness, hp.Score())
 	}
 }

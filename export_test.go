@@ -1,6 +1,44 @@
 package hotpaths
 
+import (
+	"sort"
+
+	"hotpaths/internal/coordinator"
+	"hotpaths/internal/geom"
+	"hotpaths/internal/motion"
+)
+
 // IngestWorkload exposes the deterministic random-walk workload generator
 // to the external benchmark package, so the correctness tests and the
 // ingest benchmarks exercise the same workload.
 var IngestWorkload = engineWorkload
+
+// NewBenchSnapshot assembles a Snapshot directly from synthetic paths, so
+// the query benchmarks can exercise 10k–100k-path snapshots without
+// replaying a workload of that size. Paths are put into canonical
+// hottest-first order; cols/rows are the grid resolution behind Region.
+func NewBenchSnapshot(paths []HotPath, bounds Rect, cols, rows, k int) Snapshot {
+	mp := make([]motion.HotPath, len(paths))
+	for i, hp := range paths {
+		mp[i] = motion.HotPath{
+			Path: motion.Path{
+				ID: motion.PathID(hp.ID),
+				S:  geom.Pt(hp.Start.X, hp.Start.Y),
+				E:  geom.Pt(hp.End.X, hp.End.Y),
+			},
+			Hotness: hp.Hotness,
+		}
+	}
+	sort.Slice(mp, func(i, j int) bool {
+		if mp[i].Hotness != mp[j].Hotness {
+			return mp[i].Hotness > mp[j].Hotness
+		}
+		li, lj := mp[i].Path.Length(), mp[j].Path.Length()
+		if li != lj {
+			return li > lj
+		}
+		return mp[i].Path.ID < mp[j].Path.ID
+	})
+	gb := geom.Rect{Lo: geom.Pt(bounds.Min.X, bounds.Min.Y), Hi: geom.Pt(bounds.Max.X, bounds.Max.Y)}
+	return Snapshot{snap: coordinator.SnapshotOf(mp, gb, cols, rows), k: k}
+}

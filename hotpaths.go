@@ -28,6 +28,26 @@
 //		fmt.Println(hp.Start, "->", hp.End, "hotness", hp.Hotness)
 //	}
 //
+// # Querying: Snapshot and Query
+//
+// The read side of the API is built on immutable snapshots. Snapshot()
+// (on System and Engine alike, via the shared Source interface) captures
+// the live paths, hotness, clock and counters at one consistent instant;
+// the returned Snapshot is safe to share across goroutines and to query
+// repeatedly while ingestion continues. A Query composes the selection:
+//
+//	snap := sys.Snapshot()
+//	busy := snap.Query(hotpaths.Query{}.
+//		Region(viewport).              // grid-index range scan, not a linear filter
+//		MinHotness(3).
+//		SortBy(hotpaths.ByScore).
+//		K(20))
+//
+// TopK, HotPaths, Score and WriteGeoJSON are thin wrappers over
+// Snapshot(): convenient for one-off reads, but two successive calls may
+// straddle an epoch boundary and disagree; take one Snapshot when
+// multiple reads must be mutually consistent.
+//
 // # Concurrency: System vs Engine
 //
 // The package offers two deployments of the same architecture:
@@ -64,7 +84,6 @@ import (
 	"io"
 
 	"hotpaths/internal/coordinator"
-	"hotpaths/internal/geojson"
 	"hotpaths/internal/geom"
 	"hotpaths/internal/motion"
 	"hotpaths/internal/raytrace"
@@ -168,6 +187,12 @@ func (cfg Config) withDefaults() (Config, error) {
 	}
 	if cfg.Epoch <= 0 {
 		return cfg, fmt.Errorf("hotpaths: Config.Epoch must be positive, got %d", cfg.Epoch)
+	}
+	// NaNs fail these comparisons too, so they are rejected here rather
+	// than surfacing as an internal grid-index error.
+	if !(cfg.Bounds.Max.X > cfg.Bounds.Min.X && cfg.Bounds.Max.Y > cfg.Bounds.Min.Y) {
+		return cfg, fmt.Errorf("hotpaths: Config.Bounds must have positive area (Max > Min on both axes), got min=%v max=%v",
+			cfg.Bounds.Min, cfg.Bounds.Max)
 	}
 	if cfg.K == 0 {
 		cfg.K = 10
@@ -309,24 +334,31 @@ func (s *System) Tick(now int64) error {
 	return errors.Join(errs...)
 }
 
-// TopK returns the Config.K hottest motion paths, hottest first.
+// Config returns the system's configuration with defaults applied.
+func (s *System) Config() Config { return s.cfg }
+
+// TopK returns the Config.K hottest motion paths, hottest first. It is a
+// live accessor — shorthand for Snapshot().TopK(); use Snapshot directly
+// when several reads must agree on one instant.
 func (s *System) TopK() []HotPath {
-	return convert(s.coord.TopK(s.cfg.K))
+	return s.Snapshot().TopK()
 }
 
-// HotPaths returns every live motion path, hottest first.
+// HotPaths returns every live motion path, hottest first. Shorthand for
+// Snapshot().HotPaths().
 func (s *System) HotPaths() []HotPath {
-	return convert(s.coord.AllPaths())
+	return s.Snapshot().HotPaths()
 }
 
 // Score returns the paper's quality metric over the current top-k set: the
-// average hotness×length.
-func (s *System) Score() float64 { return s.coord.Score(s.cfg.K) }
+// average hotness×length. Shorthand for Snapshot().Score().
+func (s *System) Score() float64 { return s.Snapshot().Score() }
 
 // WriteGeoJSON writes every live motion path as a GeoJSON
 // FeatureCollection, hottest first, with hotness/length/score properties.
+// Shorthand for Snapshot().WriteGeoJSON(w).
 func (s *System) WriteGeoJSON(w io.Writer) error {
-	return geojson.Write(w, geojson.FromHotPaths(s.coord.AllPaths()))
+	return s.Snapshot().WriteGeoJSON(w)
 }
 
 // Stats returns the system's counters.

@@ -1,0 +1,97 @@
+package coordinator
+
+import (
+	"sort"
+	"sync"
+
+	"hotpaths/internal/geom"
+	"hotpaths/internal/gridindex"
+	"hotpaths/internal/motion"
+)
+
+// Snapshot is an immutable copy of the coordinator's path store at one
+// instant: every live path with its hotness, in canonical order (hottest
+// first, ties broken by length then id — the TopK order). Taking one is
+// O(paths); the grid index over end vertices that answers Region is
+// derived lazily from the copied paths on first use, so snapshots that
+// never run a spatial query pay nothing for it.
+//
+// A Snapshot never changes after extraction and is safe to share across
+// goroutines while the live coordinator keeps mutating. Counters are not
+// part of it — the caller captures whatever stats it needs at the same
+// instant (the public hotpaths.Snapshot does exactly that).
+type Snapshot struct {
+	Paths []motion.HotPath // canonical hottest-first order
+
+	bounds     geom.Rect
+	cols, rows int
+
+	once sync.Once
+	grid *gridindex.Grid
+	rank map[motion.PathID]int // path id -> index into Paths
+}
+
+// Snapshot extracts an immutable copy of the current path store. The
+// caller must hold whatever lock protects the coordinator; the returned
+// value needs no further synchronisation.
+func (c *Coordinator) Snapshot() *Snapshot {
+	return SnapshotOf(c.TopK(0), c.cfg.Bounds, c.cfg.Cols, c.cfg.Rows)
+}
+
+// SnapshotOf builds a snapshot directly from a path set in canonical
+// (hottest-first) order, with the grid geometry Region queries should use.
+// It is how coordinators take snapshots, and lets benchmarks and tools
+// assemble synthetic snapshots without replaying a workload.
+func SnapshotOf(paths []motion.HotPath, bounds geom.Rect, cols, rows int) *Snapshot {
+	return &Snapshot{
+		Paths:  paths,
+		bounds: bounds,
+		cols:   cols,
+		rows:   rows,
+	}
+}
+
+// buildIndex populates the snapshot's grid over the copied paths' end
+// vertices. The bounds and resolution were validated when the live
+// coordinator was constructed; if reconstruction fails anyway the grid
+// stays nil and Region falls back to a linear scan.
+func (s *Snapshot) buildIndex() {
+	g, err := gridindex.New(s.bounds, s.cols, s.rows)
+	if err != nil {
+		return
+	}
+	s.rank = make(map[motion.PathID]int, len(s.Paths))
+	for i, hp := range s.Paths {
+		s.rank[hp.Path.ID] = i
+		g.Insert(gridindex.Entry{ID: hp.Path.ID, End: hp.Path.E, Start: hp.Path.S})
+	}
+	s.grid = g
+}
+
+// Region returns the snapshot's paths whose end vertex lies inside r
+// (inclusive), in canonical order. It is answered by a grid-index range
+// scan — only the cells overlapping r are visited — so small viewports
+// over large snapshots cost far less than a linear filter.
+func (s *Snapshot) Region(r geom.Rect) []motion.HotPath {
+	s.once.Do(s.buildIndex)
+	if s.grid == nil {
+		var out []motion.HotPath
+		for _, hp := range s.Paths {
+			if r.Contains(hp.Path.E) {
+				out = append(out, hp)
+			}
+		}
+		return out
+	}
+	var idx []int
+	s.grid.Query(r, func(e gridindex.Entry) bool {
+		idx = append(idx, s.rank[e.ID])
+		return true
+	})
+	sort.Ints(idx)
+	out := make([]motion.HotPath, len(idx))
+	for i, j := range idx {
+		out[i] = s.Paths[j]
+	}
+	return out
+}

@@ -337,6 +337,10 @@ func (e *Engine) Score(k int) float64 {
 func (e *Engine) Stats() Stats {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	return e.statsLocked()
+}
+
+func (e *Engine) statsLocked() Stats {
 	st := Stats{
 		Responses:   e.responses,
 		Reports:     e.followed,
@@ -348,4 +352,16 @@ func (e *Engine) Stats() Stats {
 		st.Reports += int(s.reported.Load())
 	}
 	return st
+}
+
+// Snapshot extracts an immutable copy of the coordinator's path store
+// together with the engine clock and counters, all read at one consistent
+// point under the engine lock. The snapshot is safe to share across
+// goroutines while ingestion continues; it reflects the last processed
+// epoch (reports still queued in the shards are not included until their
+// epoch-boundary Tick).
+func (e *Engine) Snapshot() (*coordinator.Snapshot, trajectory.Time, Stats) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.coord.Snapshot(), e.lastNow, e.statsLocked()
 }

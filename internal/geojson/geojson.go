@@ -41,7 +41,9 @@ type FeatureCollection struct {
 // as given (callers typically pass a TopK result, hottest first, so the
 // rank property is meaningful).
 func FromHotPaths(paths []motion.HotPath) FeatureCollection {
-	fc := FeatureCollection{Type: "FeatureCollection"}
+	// Features starts non-nil so an empty collection encodes as the
+	// RFC 7946-required "features": [] rather than null.
+	fc := FeatureCollection{Type: "FeatureCollection", Features: []Feature{}}
 	for rank, hp := range paths {
 		fc.Features = append(fc.Features, Feature{
 			Type: "Feature",

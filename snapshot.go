@@ -1,0 +1,216 @@
+package hotpaths
+
+import (
+	"io"
+	"sort"
+
+	"hotpaths/internal/coordinator"
+	"hotpaths/internal/geom"
+	"hotpaths/internal/motion"
+)
+
+// Source is the common surface of the package's two deployments: the
+// single-goroutine System and the concurrent sharded Engine. Callers that
+// ingest a stream and read results back — replay tools, network frontends,
+// tests — can be written once against Source and handed either.
+//
+// The concurrency contract stays per-implementation: System must be driven
+// from one goroutine; Engine accepts concurrent Observes. Snapshot is the
+// read side — an immutable view the caller can query freely.
+type Source interface {
+	// Observe feeds one location measurement for objectID at timestamp t.
+	Observe(objectID int, x, y float64, t int64) error
+	// Tick advances the clock; epochs fire when it crosses a multiple of
+	// Config.Epoch.
+	Tick(now int64) error
+	// Snapshot captures an immutable view of the current hot paths,
+	// counters and clock.
+	Snapshot() Snapshot
+}
+
+var (
+	_ Source = (*System)(nil)
+	_ Source = (*Engine)(nil)
+)
+
+// SortOrder selects how a Query orders its results.
+type SortOrder int
+
+const (
+	// ByHotness orders hottest first (ties: longer path, then smaller id).
+	// This is the canonical order of TopK and HotPaths.
+	ByHotness SortOrder = iota
+	// ByScore orders by the paper's quality metric hotness×length,
+	// highest first (ties: hotter, then smaller id).
+	ByScore
+)
+
+// Query is a composable selection over a Snapshot. The zero value selects
+// every path in canonical (hottest-first) order; the builder methods
+// narrow and shape it:
+//
+//	snap.Query(hotpaths.Query{}.
+//		Region(viewport). // only paths ending inside the viewport
+//		MinHotness(3).    // at least 3 crossings in the window
+//		SortBy(hotpaths.ByScore).
+//		K(20))            // top 20 of what remains
+//
+// Each method returns a modified copy, so queries can be built up and
+// reused across snapshots.
+type Query struct {
+	region     Rect
+	hasRegion  bool
+	minHotness int
+	k          int
+	order      SortOrder
+}
+
+// Region restricts the query to paths whose end vertex lies inside r
+// (inclusive). It is answered by a range scan over the snapshot's grid
+// index, not a linear filter.
+func (q Query) Region(r Rect) Query {
+	q.region, q.hasRegion = r, true
+	return q
+}
+
+// MinHotness restricts the query to paths with hotness ≥ n.
+func (q Query) MinHotness(n int) Query {
+	q.minHotness = n
+	return q
+}
+
+// K caps the result at the n best paths under the query's sort order.
+// n ≤ 0 (the default) returns all matches.
+func (q Query) K(n int) Query {
+	q.k = n
+	return q
+}
+
+// SortBy sets the result order.
+func (q Query) SortBy(o SortOrder) Query {
+	q.order = o
+	return q
+}
+
+// Snapshot is an immutable view of a System's or Engine's discovered hot
+// paths at one instant: the paths with their hotness, the clock, and the
+// lifetime counters, all captured at a single consistent point. It is safe
+// to share across goroutines and to query repeatedly while ingestion
+// continues on the live Source; two reads from the same Snapshot always
+// agree, which two successive live accessor calls (which may straddle an
+// epoch) do not guarantee.
+//
+// Taking a snapshot is O(paths); the grid index behind Region queries is
+// built lazily on first use.
+type Snapshot struct {
+	snap  *coordinator.Snapshot
+	clock int64
+	stats Stats
+	k     int
+}
+
+// Snapshot captures an immutable view of the system's current hot paths,
+// counters and clock.
+func (s *System) Snapshot() Snapshot {
+	return Snapshot{snap: s.coord.Snapshot(), clock: s.lastNow, stats: s.Stats(), k: s.cfg.K}
+}
+
+// Snapshot captures an immutable view of the engine's hot paths, counters
+// and clock, all read at one consistent point under the engine lock. It is
+// safe to call concurrently with ingestion; the view reflects the last
+// processed epoch.
+func (e *Engine) Snapshot() Snapshot {
+	snap, now, st := e.eng.Snapshot()
+	return Snapshot{
+		snap:  snap,
+		clock: int64(now),
+		stats: convertStats(st),
+		k:     e.cfg.K,
+	}
+}
+
+// Clock returns the timestamp of the last Tick before the snapshot was
+// taken.
+func (s Snapshot) Clock() int64 { return s.clock }
+
+// Stats returns the counters at the snapshot instant.
+func (s Snapshot) Stats() Stats { return s.stats }
+
+// Len returns the number of live paths in the snapshot.
+func (s Snapshot) Len() int {
+	if s.snap == nil {
+		return 0
+	}
+	return len(s.snap.Paths)
+}
+
+// Query runs a selection over the snapshot and returns the matching paths
+// in the query's order. The result is a fresh slice owned by the caller.
+func (s Snapshot) Query(q Query) []HotPath {
+	if s.snap == nil {
+		return nil
+	}
+	var sel []motion.HotPath
+	if q.hasRegion {
+		sel = s.snap.Region(geom.Rect{
+			Lo: geom.Pt(q.region.Min.X, q.region.Min.Y),
+			Hi: geom.Pt(q.region.Max.X, q.region.Max.Y),
+		})
+	} else {
+		sel = s.snap.Paths
+	}
+	if q.minHotness > 0 {
+		// sel is in canonical order — hotness descending — so the matches
+		// are exactly a prefix.
+		cut := sort.Search(len(sel), func(i int) bool { return sel[i].Hotness < q.minHotness })
+		sel = sel[:cut]
+	}
+	if q.order == ByHotness {
+		// Canonical order already — the k best are a prefix, so cut
+		// before materialising the public copies.
+		if q.k > 0 && q.k < len(sel) {
+			sel = sel[:q.k]
+		}
+		return convert(sel)
+	}
+	out := convert(sel)
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := out[i].Score(), out[j].Score()
+		if si != sj {
+			return si > sj
+		}
+		if out[i].Hotness != out[j].Hotness {
+			return out[i].Hotness > out[j].Hotness
+		}
+		return out[i].ID < out[j].ID
+	})
+	if q.k > 0 && q.k < len(out) {
+		out = out[:q.k]
+	}
+	return out
+}
+
+// TopK returns the Config.K hottest paths, hottest first.
+func (s Snapshot) TopK() []HotPath { return s.Query(Query{}.K(s.k)) }
+
+// HotPaths returns every path in the snapshot, hottest first.
+func (s Snapshot) HotPaths() []HotPath { return s.Query(Query{}) }
+
+// Score returns the paper's quality metric over the snapshot's top-k set:
+// the average hotness×length.
+func (s Snapshot) Score() float64 {
+	if s.snap == nil {
+		return 0
+	}
+	top := s.snap.Paths
+	if s.k > 0 && s.k < len(top) {
+		top = top[:s.k]
+	}
+	return motion.TopKScore(top)
+}
+
+// WriteGeoJSON writes the snapshot's paths as a GeoJSON FeatureCollection,
+// hottest first, with id/rank/hotness/length/score properties.
+func (s Snapshot) WriteGeoJSON(w io.Writer) error {
+	return WriteGeoJSON(w, s.HotPaths())
+}

@@ -1,0 +1,68 @@
+package hotpaths
+
+import (
+	"io"
+
+	"hotpaths/internal/geojson"
+	"hotpaths/internal/geom"
+	"hotpaths/internal/motion"
+)
+
+// PointJSON is the wire form of a Point.
+type PointJSON struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// PathJSON is the canonical wire form of a HotPath: the path's identity
+// and geometry plus its 1-based rank in the result it was taken from and
+// the derived length and score, so clients need no follow-up computation.
+// It is the element type of hotpathsd's /topk and /paths responses.
+type PathJSON struct {
+	ID      uint64    `json:"id"`
+	Rank    int       `json:"rank"`
+	Hotness int       `json:"hotness"`
+	Length  float64   `json:"length"`
+	Score   float64   `json:"score"`
+	Start   PointJSON `json:"start"`
+	End     PointJSON `json:"end"`
+}
+
+// PathsJSON converts a query result to its wire form, assigning ranks in
+// the order given (pass a TopK or Query result so rank 1 is the best
+// match). It returns a non-nil slice so an empty result encodes as [].
+func PathsJSON(paths []HotPath) []PathJSON {
+	out := make([]PathJSON, len(paths))
+	for i, hp := range paths {
+		out[i] = PathJSON{
+			ID:      hp.ID,
+			Rank:    i + 1,
+			Hotness: hp.Hotness,
+			Length:  hp.Length(),
+			Score:   hp.Score(),
+			Start:   PointJSON{hp.Start.X, hp.Start.Y},
+			End:     PointJSON{hp.End.X, hp.End.Y},
+		}
+	}
+	return out
+}
+
+// WriteGeoJSON writes paths as a GeoJSON FeatureCollection in the order
+// given: one LineString feature per path with id/rank/hotness/length/score
+// properties, rank following the input order. The encoding is the single
+// internal/geojson schema, so the daemon, the snapshot dump and the render
+// tools all emit the same wire format.
+func WriteGeoJSON(w io.Writer, paths []HotPath) error {
+	mp := make([]motion.HotPath, len(paths))
+	for i, hp := range paths {
+		mp[i] = motion.HotPath{
+			Path: motion.Path{
+				ID: motion.PathID(hp.ID),
+				S:  geom.Pt(hp.Start.X, hp.Start.Y),
+				E:  geom.Pt(hp.End.X, hp.End.Y),
+			},
+			Hotness: hp.Hotness,
+		}
+	}
+	return geojson.Write(w, geojson.FromHotPaths(mp))
+}

@@ -407,6 +407,118 @@ func BenchmarkEngineIngest(b *testing.B) {
 	}
 }
 
+// --- Durable write path: journaled ingest and crash recovery ---
+
+// BenchmarkWALAppend measures durable ingest: the BenchmarkEngineIngest
+// workload pushed through OpenDurable at the default group-commit
+// interval, so every observation and tick is journaled before it is
+// applied. The acceptance bar for the durability subsystem is >=50% of
+// the in-memory Engine's obs/s.
+func BenchmarkWALAppend(b *testing.B) {
+	const nObjects, horizon = 512, 60
+	batches := ingestBatches(nObjects, horizon)
+	for _, backend := range []string{"system", "engine"} {
+		b.Run(backend, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dir := b.TempDir() // fresh journal per iteration, not timed
+				b.StartTimer()
+				dur, err := hotpaths.OpenDurable(dir, hotpaths.DurableConfig{
+					Config:     ingestConfig(),
+					Concurrent: backend == "engine",
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, batch := range batches {
+					if err := dur.ObserveBatch(batch); err != nil {
+						b.Fatal(err)
+					}
+					if err := dur.Tick(batch[0].T); err != nil {
+						b.Fatal(err)
+					}
+				}
+				// The hard durability barrier is part of the measured cost;
+				// the final checkpoint Close writes is shutdown cost, not
+				// append cost, so it runs off the clock.
+				if err := dur.Sync(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if err := dur.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			b.StopTimer()
+			reportObsRate(b, nObjects*horizon)
+		})
+	}
+}
+
+// BenchmarkRecover measures both recovery paths: "replay" reconstructs
+// purely from the WAL (no checkpoint — the worst case), "checkpoint"
+// loads the final checkpoint plus an empty tail (the steady-state restart
+// cost with default retention).
+func BenchmarkRecover(b *testing.B) {
+	const nObjects, horizon = 512, 60
+	batches := ingestBatches(nObjects, horizon)
+	prepare := func(b *testing.B, ckptEvery int64) string {
+		b.Helper()
+		dir := b.TempDir()
+		dur, err := hotpaths.OpenDurable(dir, hotpaths.DurableConfig{
+			Config:          ingestConfig(),
+			FsyncInterval:   -1,
+			CheckpointEvery: ckptEvery,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, batch := range batches {
+			if err := dur.ObserveBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+			if err := dur.Tick(batch[0].T); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := dur.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return dir
+	}
+	b.Run("replay", func(b *testing.B) {
+		dir := prepare(b, -1) // no checkpoints: recovery replays every record
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			src, err := hotpaths.Recover(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if src.Snapshot().Stats().Observations != nObjects*horizon {
+				b.Fatal("short recovery")
+			}
+		}
+		b.StopTimer()
+		reportObsRate(b, nObjects*horizon)
+	})
+	b.Run("checkpoint", func(b *testing.B) {
+		dir := prepare(b, 0) // default cadence + final checkpoint on Close
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			src, err := hotpaths.Recover(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if src.Snapshot().Stats().Observations != nObjects*horizon {
+				b.Fatal("short recovery")
+			}
+		}
+		b.StopTimer()
+		reportObsRate(b, nObjects*horizon)
+	})
+}
+
 // --- Snapshot query path: region scans and top-k over large snapshots ---
 
 // benchSnapshot builds an n-path snapshot of short random paths spread

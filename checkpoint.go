@@ -1,0 +1,134 @@
+package hotpaths
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"hotpaths/internal/coordinator"
+	"hotpaths/internal/engine"
+	"hotpaths/internal/raytrace"
+	"hotpaths/internal/trajectory"
+)
+
+// Checkpoint codec: the serialized form of a System's or Engine's complete
+// state, written by the durability layer at epoch boundaries so recovery
+// replays at most one window of WAL records instead of the full history.
+//
+// The payload is framed as
+//
+//	"HPCK"  magic
+//	uint32  LE version
+//	uint32  LE CRC-32C of the body
+//	body    gob(checkpointBody)
+//
+// The body embeds the resolved Config the state was produced under;
+// decoding verifies it against the recovering instance's Config, since
+// restoring state into a differently-parameterised pipeline would break
+// the determinism that recovery relies on.
+
+const checkpointVersion = 1
+
+var checkpointMagic = []byte("HPCK")
+
+var checkpointCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// checkpointBody is the gob-encoded checkpoint content. engine.State is
+// deployment-agnostic: System and Engine dump to and restore from the
+// same structure.
+type checkpointBody struct {
+	Config Config
+	State  engine.State
+}
+
+// encodeCheckpoint serializes a state dump taken under cfg.
+func encodeCheckpoint(cfg Config, st engine.State) ([]byte, error) {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(checkpointBody{Config: cfg, State: st}); err != nil {
+		return nil, fmt.Errorf("hotpaths: encode checkpoint: %w", err)
+	}
+	out := make([]byte, 0, len(checkpointMagic)+8+body.Len())
+	out = append(out, checkpointMagic...)
+	out = binary.LittleEndian.AppendUint32(out, checkpointVersion)
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(body.Bytes(), checkpointCRC))
+	return append(out, body.Bytes()...), nil
+}
+
+// decodeCheckpoint validates and deserializes a checkpoint payload,
+// rejecting it when it was written under a different configuration.
+func decodeCheckpoint(b []byte, want Config) (engine.State, error) {
+	hdr := len(checkpointMagic) + 8
+	if len(b) < hdr || !bytes.Equal(b[:len(checkpointMagic)], checkpointMagic) {
+		return engine.State{}, fmt.Errorf("hotpaths: not a checkpoint file")
+	}
+	if v := binary.LittleEndian.Uint32(b[len(checkpointMagic):]); v != checkpointVersion {
+		return engine.State{}, fmt.Errorf("hotpaths: checkpoint version %d not supported", v)
+	}
+	body := b[hdr:]
+	if got, wantCRC := crc32.Checksum(body, checkpointCRC), binary.LittleEndian.Uint32(b[len(checkpointMagic)+4:]); got != wantCRC {
+		return engine.State{}, fmt.Errorf("hotpaths: checkpoint checksum mismatch")
+	}
+	var cb checkpointBody
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&cb); err != nil {
+		return engine.State{}, fmt.Errorf("hotpaths: decode checkpoint: %w", err)
+	}
+	if cb.Config != want {
+		return engine.State{}, fmt.Errorf("hotpaths: checkpoint was written under config %+v, recovering with %+v", cb.Config, want)
+	}
+	return cb.State, nil
+}
+
+// dumpState captures the System's complete state in the shared
+// checkpoint structure. The System's pending list already interleaves
+// follow-up and observation-raised reports in batch order.
+func (s *System) dumpState() engine.State {
+	st := engine.State{
+		Clock:        trajectory.Time(s.lastNow),
+		Observations: int64(s.stats.Observations),
+		Reports:      int64(s.stats.Reports),
+		Responses:    s.stats.Responses,
+		Pending:      append([]coordinator.Report(nil), s.pending...),
+		Coord:        s.coord.DumpState(),
+	}
+	for id, f := range s.filters {
+		sig := s.sigmas[id]
+		st.Filters = append(st.Filters, engine.FilterEntry{
+			ObjectID: id,
+			SigmaX:   sig[0],
+			SigmaY:   sig[1],
+			Filter:   f.Dump(),
+		})
+	}
+	sort.Slice(st.Filters, func(i, j int) bool { return st.Filters[i].ObjectID < st.Filters[j].ObjectID })
+	return st
+}
+
+// restoreState replaces the System's state with a dumped one. The System
+// must be freshly built from the same Config.
+func (s *System) restoreState(st engine.State) error {
+	if err := s.coord.RestoreState(st.Coord); err != nil {
+		return err
+	}
+	s.filters = make(map[int]*raytrace.Filter, len(st.Filters))
+	s.sigmas = make(map[int][2]float64)
+	for _, fe := range st.Filters {
+		if _, dup := s.filters[fe.ObjectID]; dup {
+			return fmt.Errorf("hotpaths: restored filter for object %d is duplicated", fe.ObjectID)
+		}
+		s.filters[fe.ObjectID] = raytrace.Restore(fe.Filter, s.cfg.toleranceFunc(fe.SigmaX, fe.SigmaY))
+		if fe.SigmaX != 0 || fe.SigmaY != 0 {
+			s.sigmas[fe.ObjectID] = [2]float64{fe.SigmaX, fe.SigmaY}
+		}
+	}
+	s.pending = append([]coordinator.Report(nil), st.Pending...)
+	s.lastNow = int64(st.Clock)
+	s.stats = Stats{
+		Observations: int(st.Observations),
+		Reports:      int(st.Reports),
+		Responses:    st.Responses,
+	}
+	return nil
+}

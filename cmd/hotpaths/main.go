@@ -14,12 +14,20 @@
 // ignoring the workload flags:
 //
 //	hotpaths -trace trace.txt [-eps 10] [-w 100] [-epoch 10] [-k 10]
-//	         [-engine] [-json]
+//	         [-engine] [-json] [-wal-record DIR]
 //
 // The replay drives the hotpaths.Source interface, so -engine swaps the
 // single-goroutine System for the concurrent sharded Engine without
 // touching the replay loop; results are bit-identical. -json prints the
 // final top-k in the canonical PathJSON wire form instead of a table.
+//
+// -wal-record DIR additionally journals the replayed stream into a
+// write-ahead log directory (the full journal is kept — no checkpoint
+// truncation — so the directory doubles as a portable binary trace), and
+// -wal-replay DIR reconstructs the state offline from such a directory —
+// or from a crashed hotpathsd -wal directory — and prints the top-k:
+//
+//	hotpaths -wal-replay DIR [-json]
 package main
 
 import (
@@ -41,31 +49,42 @@ import (
 
 func main() {
 	var (
-		n        = flag.Int("n", 20000, "number of moving objects")
-		eps      = flag.Float64("eps", 10, "tolerance epsilon, metres")
-		w        = flag.Int64("w", 100, "sliding window length, timestamps")
-		epoch    = flag.Int64("epoch", 10, "epoch length, timestamps")
-		duration = flag.Int64("duration", 250, "simulation length, timestamps")
-		k        = flag.Int("k", 10, "top-k hottest paths to report")
-		agility  = flag.Float64("agility", 0.1, "fraction of objects moving per timestamp")
-		step     = flag.Float64("step", 10, "displacement per move, metres")
-		errAmp   = flag.Float64("err", 1, "positional noise amplitude, metres")
-		seed     = flag.Int64("seed", 1, "random seed")
-		netFile  = flag.String("net", "", "road network file (default: generate Athens-like)")
-		traceIn  = flag.String("trace", "", "replay a recorded measurement trace instead of simulating")
-		useEng   = flag.Bool("engine", false, "replay through the concurrent Engine instead of the System")
-		jsonOut  = flag.Bool("json", false, "print replay results as canonical PathJSON")
-		iid      = flag.Bool("iid", false, "use the literal i.i.d. agility model instead of traffic lights")
-		runDP    = flag.Bool("dp", false, "also run the DP benchmark")
-		quiet    = flag.Bool("quiet", false, "suppress per-epoch rows")
+		n         = flag.Int("n", 20000, "number of moving objects")
+		eps       = flag.Float64("eps", 10, "tolerance epsilon, metres")
+		w         = flag.Int64("w", 100, "sliding window length, timestamps")
+		epoch     = flag.Int64("epoch", 10, "epoch length, timestamps")
+		duration  = flag.Int64("duration", 250, "simulation length, timestamps")
+		k         = flag.Int("k", 10, "top-k hottest paths to report")
+		agility   = flag.Float64("agility", 0.1, "fraction of objects moving per timestamp")
+		step      = flag.Float64("step", 10, "displacement per move, metres")
+		errAmp    = flag.Float64("err", 1, "positional noise amplitude, metres")
+		seed      = flag.Int64("seed", 1, "random seed")
+		netFile   = flag.String("net", "", "road network file (default: generate Athens-like)")
+		traceIn   = flag.String("trace", "", "replay a recorded measurement trace instead of simulating")
+		useEng    = flag.Bool("engine", false, "replay through the concurrent Engine instead of the System")
+		jsonOut   = flag.Bool("json", false, "print replay results as canonical PathJSON")
+		walRecord = flag.String("wal-record", "", "journal the trace replay into this write-ahead log directory")
+		walReplay = flag.String("wal-replay", "", "reconstruct state offline from a write-ahead log directory and print the top-k")
+		iid       = flag.Bool("iid", false, "use the literal i.i.d. agility model instead of traffic lights")
+		runDP     = flag.Bool("dp", false, "also run the DP benchmark")
+		quiet     = flag.Bool("quiet", false, "suppress per-epoch rows")
 	)
 	flag.Parse()
 
-	if *traceIn != "" {
-		if err := replayTrace(*traceIn, *eps, *w, *epoch, *k, *useEng, *jsonOut); err != nil {
+	if *walReplay != "" {
+		if err := replayWAL(*walReplay, *jsonOut); err != nil {
 			fatal(err)
 		}
 		return
+	}
+	if *traceIn != "" {
+		if err := replayTrace(*traceIn, *eps, *w, *epoch, *k, *useEng, *jsonOut, *walRecord); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *walRecord != "" {
+		fatal(fmt.Errorf("-wal-record requires -trace"))
 	}
 
 	net, err := loadNetwork(*netFile, *seed)
@@ -149,10 +168,23 @@ func main() {
 	tb.WriteTo(os.Stdout)
 }
 
+// replayWAL reconstructs the state journaled in a write-ahead log
+// directory — checkpoint plus WAL tail — and prints the top-k it held.
+// The directory's meta file carries the configuration, so no workload
+// flags apply.
+func replayWAL(dir string, jsonOut bool) error {
+	src, err := hotpaths.Recover(dir)
+	if err != nil {
+		return err
+	}
+	return printReplay(src.Snapshot(), jsonOut)
+}
+
 // replayTrace feeds a recorded trace through the public API and prints the
 // resulting top-k. The loop is written against hotpaths.Source, so the
-// System and Engine deployments replay identically.
-func replayTrace(path string, eps float64, w, epoch int64, k int, useEngine, jsonOut bool) error {
+// System and Engine deployments replay identically. A non-empty walRecord
+// journals the stream to that directory as it replays.
+func replayTrace(path string, eps float64, w, epoch int64, k int, useEngine, jsonOut bool, walRecord string) (retErr error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -181,14 +213,38 @@ func replayTrace(path string, eps float64, w, epoch int64, k int, useEngine, jso
 		Bounds: hotpaths.Rect{Min: hotpaths.Pt(lo.X-eps, lo.Y-eps), Max: hotpaths.Pt(hi.X+eps, hi.Y+eps)},
 	}
 	var src hotpaths.Source
-	if useEngine {
+	switch {
+	case walRecord != "":
+		// Journal while replaying. The whole journal is kept (automatic
+		// checkpoints off) so the directory doubles as a portable binary
+		// trace; fsync once at Close rather than on a timer — this is a
+		// bulk load, not a live ingest.
+		dur, err := hotpaths.OpenDurable(walRecord, hotpaths.DurableConfig{
+			Config:          cfg,
+			Concurrent:      useEngine,
+			FsyncInterval:   -1,
+			CheckpointEvery: -1,
+		})
+		if err != nil {
+			return err
+		}
+		// With the fsync ticker off, Close performs the capture's only
+		// flush+fsync — swallowing its error would print a top-k while
+		// leaving a truncated journal behind.
+		defer func() {
+			if cerr := dur.Close(); cerr != nil && retErr == nil {
+				retErr = fmt.Errorf("close wal capture: %w", cerr)
+			}
+		}()
+		src = dur
+	case useEngine:
 		eng, err := hotpaths.NewEngine(hotpaths.EngineConfig{Config: cfg})
 		if err != nil {
 			return err
 		}
 		defer eng.Close()
 		src = eng
-	} else {
+	default:
 		sys, err := hotpaths.New(cfg)
 		if err != nil {
 			return err
@@ -213,7 +269,12 @@ func replayTrace(path string, eps float64, w, epoch int64, k int, useEngine, jso
 	}
 
 	// One snapshot answers every read consistently.
-	snap := src.Snapshot()
+	return printReplay(src.Snapshot(), jsonOut)
+}
+
+// printReplay prints a replay's final state: the canonical PathJSON
+// wire form with -json, a summary plus top-k table otherwise.
+func printReplay(snap hotpaths.Snapshot, jsonOut bool) error {
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -222,10 +283,11 @@ func replayTrace(path string, eps float64, w, epoch int64, k int, useEngine, jso
 	st := snap.Stats()
 	fmt.Printf("replayed %d measurements: %d reports, %d paths live\n",
 		st.Observations, st.Reports, st.IndexSize)
-	fmt.Printf("\ntop-%d hottest motion paths:\n", k)
+	top := snap.TopK()
+	fmt.Printf("\ntop-%d hottest motion paths:\n", len(top))
 	var tb stats.Table
 	tb.AddRow("id", "hotness", "length-m", "score")
-	for _, hp := range snap.TopK() {
+	for _, hp := range top {
 		tb.AddRow(
 			fmt.Sprintf("%d", hp.ID),
 			fmt.Sprintf("%d", hp.Hotness),

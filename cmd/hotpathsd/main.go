@@ -6,16 +6,25 @@
 //	hotpathsd [-addr :8080] [-eps 10] [-delta 0] [-w 100] [-epoch 10]
 //	          [-k 10] [-shards 0] [-buffer 256] [-grid 64]
 //	          [-bounds 0,0,16000,16000] [-snapshot paths.geojson]
+//	          [-wal DIR] [-fsync 25ms]
 //
 // Endpoints:
 //
-//	POST /observe        {"observations":[{"object":1,"x":10,"y":20,"t":3}], "tick":3}
-//	POST /tick           {"now": 4}
-//	GET  /topk           top-k hottest paths as JSON (k defaults to -k)
-//	GET  /paths          every live path as JSON
-//	GET  /paths.geojson  live paths as a GeoJSON FeatureCollection
-//	GET  /stats          ingestion and coordinator counters
-//	GET  /healthz        liveness probe
+//	POST /observe           {"observations":[{"object":1,"x":10,"y":20,"t":3}], "tick":3}
+//	POST /tick              {"now": 4}
+//	GET  /topk              top-k hottest paths as JSON (k defaults to -k)
+//	GET  /paths             every live path as JSON
+//	GET  /paths.geojson     live paths as a GeoJSON FeatureCollection
+//	GET  /stats             ingestion, coordinator and WAL counters
+//	POST /admin/checkpoint  force a checkpoint + WAL truncation (-wal only)
+//	GET  /healthz           liveness probe
+//
+// With -wal DIR the daemon journals every observation and tick to a
+// write-ahead log before applying it, checkpoints the full engine state
+// at epoch boundaries, and on startup recovers the pre-crash state from
+// the directory — restarts and crashes lose at most the last -fsync
+// interval of acknowledged writes. See the README's "Durability &
+// operations" section for the on-disk layout and recovery procedure.
 //
 // The three read endpoints answer from one consistent engine snapshot per
 // request and share the query parameters
@@ -53,6 +62,13 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main behind an exit code: a failed shutdown snapshot or WAL
+// close must exit non-zero so orchestrators notice the lost dump (defers
+// still run, unlike calling os.Exit inline).
+func run() int {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
 		eps      = flag.Float64("eps", 10, "tolerance epsilon, metres")
@@ -65,34 +81,62 @@ func main() {
 		grid     = flag.Int("grid", 64, "coordinator grid resolution (grid x grid cells)")
 		bounds   = flag.String("bounds", "0,0,16000,16000", "monitored region: minx,miny,maxx,maxy")
 		snapshot = flag.String("snapshot", "", "write final paths as GeoJSON here on shutdown")
+		walDir   = flag.String("wal", "", "journal directory: enables the write-ahead log, checkpoints and crash recovery")
+		fsync    = flag.Duration("fsync", 25*time.Millisecond, "WAL group-commit interval (with -wal); negative disables timed fsync")
 	)
 	flag.Parse()
 
 	rect, err := parseBounds(*bounds)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	eng, err := hotpaths.NewEngine(hotpaths.EngineConfig{
-		Config: hotpaths.Config{
-			Eps:      *eps,
-			Delta:    *delta,
-			W:        *w,
-			Epoch:    *epoch,
-			K:        *k,
-			Bounds:   rect,
-			GridCols: *grid,
-			GridRows: *grid,
-		},
-		Shards: *shards,
-		Buffer: *buffer,
-	})
-	if err != nil {
-		fatal(err)
+	cfg := hotpaths.Config{
+		Eps:      *eps,
+		Delta:    *delta,
+		W:        *w,
+		Epoch:    *epoch,
+		K:        *k,
+		Bounds:   rect,
+		GridCols: *grid,
+		GridRows: *grid,
+	}
+	// The backend: a bare Engine, or the Durable wrapper around one when
+	// -wal is set (which first recovers any state already journaled there).
+	var (
+		src   backend
+		dur   *hotpaths.Durable
+		drain func() error
+	)
+	if *walDir != "" {
+		dur, err = hotpaths.OpenDurable(*walDir, hotpaths.DurableConfig{
+			Config:        cfg,
+			Concurrent:    true,
+			Shards:        *shards,
+			Buffer:        *buffer,
+			FsyncInterval: *fsync,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		src, drain = dur, dur.Close
+		ws := dur.WAL()
+		logf("wal open in %s: %d records, replayed %d, last checkpoint lsn %d",
+			*walDir, ws.NextLSN, ws.Replayed, ws.LastCheckpointLSN)
+	} else {
+		eng, err := hotpaths.NewEngine(hotpaths.EngineConfig{
+			Config: cfg,
+			Shards: *shards,
+			Buffer: *buffer,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		src, drain = eng, eng.Close
 	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(eng).handler(),
+		Handler:           newServer(src, dur).handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -101,47 +145,52 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	logf("listening on %s (%d shards, eps=%g, w=%d, epoch=%d)",
-		*addr, eng.Shards(), *eps, *w, *epoch)
+		*addr, src.Shards(), *eps, *w, *epoch)
 
 	select {
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
-			fatal(err)
+			return fail(err)
 		}
 	case <-ctx.Done():
 	}
 
 	// Graceful drain: stop accepting, finish in-flight requests, then
-	// drain the ingestion shards and snapshot the final state.
+	// drain the ingestion shards (checkpointing and closing the WAL when
+	// enabled) and snapshot the final state.
 	logf("shutting down")
+	code := 0
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
 		logf("http shutdown: %v", err)
 	}
-	if err := eng.Close(); err != nil {
-		logf("engine drain: %v", err)
+	if err := drain(); err != nil {
+		logf("drain: %v", err)
+		code = 1
 	}
 	if *snapshot != "" {
-		if err := writeSnapshot(*snapshot, eng); err != nil {
+		if err := writeSnapshot(*snapshot, src); err != nil {
 			logf("snapshot: %v", err)
+			code = 1
 		} else {
 			logf("snapshot written to %s", *snapshot)
 		}
 	}
-	st := eng.Stats()
+	st := src.Stats()
 	logf("final: %d observations, %d reports, %d live paths",
 		st.Observations, st.Reports, st.IndexSize)
+	return code
 }
 
 // writeSnapshot dumps every live path as GeoJSON, using the same encoding
 // as GET /paths.geojson.
-func writeSnapshot(path string, eng *hotpaths.Engine) error {
+func writeSnapshot(path string, src backend) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := eng.WriteGeoJSON(f); err != nil {
+	if err := src.Snapshot().WriteGeoJSON(f); err != nil {
 		f.Close()
 		return err
 	}
@@ -171,7 +220,7 @@ func logf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "hotpathsd: "+format+"\n", args...)
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	logf("%v", err)
-	os.Exit(1)
+	return 1
 }

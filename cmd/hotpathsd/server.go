@@ -14,11 +14,24 @@ import (
 	"hotpaths"
 )
 
-// server wires the Engine to the HTTP surface. Ingestion state lives in
-// the Engine, which is safe for concurrent use; the server only adds its
-// start time and a read-side snapshot cache.
+// backend is the ingestion and query surface the server drives: the bare
+// concurrent Engine, or the Durable wrapper when -wal is set. Both are
+// safe for concurrent use.
+type backend interface {
+	ObserveBatch(batch []hotpaths.Observation) error
+	Tick(now int64) error
+	Snapshot() hotpaths.Snapshot
+	Stats() hotpaths.Stats
+	Config() hotpaths.Config
+	Shards() int
+}
+
+// server wires the backend to the HTTP surface. Ingestion state lives in
+// the backend; the server only adds its start time and a read-side
+// snapshot cache.
 type server struct {
-	eng     *hotpaths.Engine
+	src     backend
+	dur     *hotpaths.Durable // non-nil (and == src) when -wal is set
 	started time.Time
 
 	// gen counts writes (observe/tick). Readers reuse one cached snapshot
@@ -35,8 +48,8 @@ type cachedSnapshot struct {
 	gen  uint64
 }
 
-func newServer(eng *hotpaths.Engine) *server {
-	return &server{eng: eng, started: time.Now()}
+func newServer(src backend, dur *hotpaths.Durable) *server {
+	return &server{src: src, dur: dur, started: time.Now()}
 }
 
 // snapshot returns the cached engine snapshot, taking a fresh one when a
@@ -52,7 +65,7 @@ func (s *server) snapshot() hotpaths.Snapshot {
 	if c != nil && c.gen == g {
 		return c.snap
 	}
-	snap := s.eng.Snapshot()
+	snap := s.src.Snapshot()
 	s.mu.Lock()
 	if s.gen.Load() == g {
 		s.cached = &cachedSnapshot{snap: snap, gen: g}
@@ -72,6 +85,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /paths", s.handlePaths)
 	mux.HandleFunc("GET /paths.geojson", s.handleGeoJSON)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /admin/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
@@ -133,14 +147,14 @@ func (s *server) handleObserve(w http.ResponseWriter, r *http.Request) {
 			SigmaX: o.SigmaX, SigmaY: o.SigmaY,
 		}
 	}
-	if err := s.eng.ObserveBatch(batch); err != nil {
+	if err := s.src.ObserveBatch(batch); err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	s.invalidate()
 	resp := map[string]any{"accepted": len(batch)}
 	if req.Tick > 0 {
-		err := s.eng.Tick(req.Tick)
+		err := s.src.Tick(req.Tick)
 		s.invalidate()
 		if err != nil {
 			// The batch was already ingested; report that alongside the
@@ -161,7 +175,7 @@ func (s *server) handleTick(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	err := s.eng.Tick(req.Now)
+	err := s.src.Tick(req.Now)
 	s.invalidate()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
@@ -223,7 +237,7 @@ func queryParams(r *http.Request, defaultK int) (hotpaths.Query, error) {
 // engine's Config.K), optionally restricted by bbox/min_hotness and
 // re-ranked by sort=score.
 func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
-	q, err := queryParams(r, s.eng.Config().K)
+	q, err := queryParams(r, s.src.Config().K)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -266,8 +280,8 @@ func (s *server) handleGeoJSON(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := s.eng.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	st := s.src.Stats()
+	resp := map[string]any{
 		"observations":   st.Observations,
 		"reports":        st.Reports,
 		"responses":      st.Responses,
@@ -275,9 +289,37 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"paths_expired":  st.PathsExpired,
 		"crossings":      st.Crossings,
 		"index_size":     st.IndexSize,
-		"shards":         s.eng.Shards(),
+		"shards":         s.src.Shards(),
 		"uptime_seconds": int(time.Since(s.started).Seconds()),
-	})
+		"wal_enabled":    s.dur != nil,
+	}
+	if s.dur != nil {
+		ws := s.dur.WAL()
+		resp["wal_records"] = ws.NextLSN
+		resp["wal_segments"] = ws.Segments
+		resp["wal_bytes"] = ws.Bytes
+		resp["wal_syncs"] = ws.Syncs
+		resp["wal_checkpoints"] = ws.Checkpoints
+		resp["wal_checkpoint_lsn"] = ws.LastCheckpointLSN
+		resp["wal_replayed"] = ws.Replayed
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCheckpoint serves POST /admin/checkpoint: force a full-state
+// checkpoint and truncate WAL segments it covers. 409 when the daemon
+// runs without -wal.
+func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.dur == nil {
+		httpError(w, http.StatusConflict, errors.New("durability is disabled; start the daemon with -wal"))
+		return
+	}
+	lsn, err := s.dur.Checkpoint()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"lsn": lsn})
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -12,23 +12,45 @@ import (
 	"hotpaths"
 )
 
+func serverTestConfig() hotpaths.Config {
+	return hotpaths.Config{
+		Eps:    5,
+		W:      100,
+		Epoch:  10,
+		K:      10,
+		Bounds: hotpaths.Rect{Min: hotpaths.Pt(-100, -100), Max: hotpaths.Pt(2000, 2000)},
+	}
+}
+
 func newTestHandler(t *testing.T) http.Handler {
 	t.Helper()
 	eng, err := hotpaths.NewEngine(hotpaths.EngineConfig{
-		Config: hotpaths.Config{
-			Eps:    5,
-			W:      100,
-			Epoch:  10,
-			K:      10,
-			Bounds: hotpaths.Rect{Min: hotpaths.Pt(-100, -100), Max: hotpaths.Pt(2000, 2000)},
-		},
+		Config: serverTestConfig(),
 		Shards: 2,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { eng.Close() })
-	return newServer(eng).handler()
+	return newServer(eng, nil).handler()
+}
+
+// newDurableHandler backs the server with a Durable engine journaling
+// into a fresh directory, as `hotpathsd -wal DIR` does.
+func newDurableHandler(t *testing.T) (http.Handler, string) {
+	t.Helper()
+	dir := t.TempDir()
+	dur, err := hotpaths.OpenDurable(dir, hotpaths.DurableConfig{
+		Config:        serverTestConfig(),
+		Concurrent:    true,
+		Shards:        2,
+		FsyncInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dur.Close() })
+	return newServer(dur, dur).handler(), dir
 }
 
 func do(t *testing.T, h http.Handler, method, path string, body any) *httptest.ResponseRecorder {
@@ -380,6 +402,63 @@ func TestGeoJSONQueryParams(t *testing.T) {
 	}
 	if len(fc.Features) != 0 {
 		t.Errorf("far-away bbox returned %d features", len(fc.Features))
+	}
+}
+
+// With -wal the stats report the journal, /admin/checkpoint forces one,
+// and a second server over the same directory recovers the state the
+// first one served.
+func TestDurableEndpoints(t *testing.T) {
+	h, dir := newDurableHandler(t)
+	feedZigZag(t, h)
+
+	st := decode[map[string]any](t, do(t, h, http.MethodGet, "/stats", nil))
+	if st["wal_enabled"] != true {
+		t.Fatalf("wal_enabled = %v", st["wal_enabled"])
+	}
+	// 40 ticks + 80 observations journaled.
+	if got := st["wal_records"].(float64); got != 120 {
+		t.Errorf("wal_records = %v, want 120", got)
+	}
+
+	rec := do(t, h, http.MethodPost, "/admin/checkpoint", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("admin/checkpoint: %d %s", rec.Code, rec.Body.String())
+	}
+	if lsn := decode[map[string]any](t, rec)["lsn"].(float64); lsn != 120 {
+		t.Errorf("checkpoint lsn = %v, want 120", lsn)
+	}
+	st = decode[map[string]any](t, do(t, h, http.MethodGet, "/stats", nil))
+	if st["wal_checkpoints"].(float64) == 0 {
+		t.Error("stats do not reflect the explicit checkpoint")
+	}
+
+	want := decode[[]hotpaths.PathJSON](t, do(t, h, http.MethodGet, "/paths", nil))
+	if len(want) == 0 {
+		t.Fatal("no paths served")
+	}
+
+	// A recovered deployment over the same directory serves identical paths.
+	rec2, err := hotpaths.Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := hotpaths.PathsJSON(rec2.Snapshot().HotPaths())
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("recovered paths diverge from served paths:\n want %+v\n got  %+v", want, got)
+	}
+}
+
+// Without -wal, the admin endpoint must refuse rather than 404, so
+// operators learn why instead of suspecting a version mismatch.
+func TestCheckpointWithoutWAL(t *testing.T) {
+	h := newTestHandler(t)
+	if rec := do(t, h, http.MethodPost, "/admin/checkpoint", nil); rec.Code != http.StatusConflict {
+		t.Errorf("admin/checkpoint without wal: %d, want 409", rec.Code)
+	}
+	st := decode[map[string]any](t, do(t, h, http.MethodGet, "/stats", nil))
+	if st["wal_enabled"] != false {
+		t.Errorf("wal_enabled = %v, want false", st["wal_enabled"])
 	}
 }
 

@@ -1,0 +1,637 @@
+package hotpaths
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"hotpaths/internal/engine"
+	"hotpaths/internal/wal"
+)
+
+// DurableConfig parameterises OpenDurable: the common Config plus the
+// journal and checkpoint knobs.
+type DurableConfig struct {
+	Config
+
+	// Concurrent selects the backing deployment: false wraps the
+	// single-goroutine System, true wraps the sharded Engine. Either way
+	// the Durable write path is serialised by its own mutex (journaling
+	// fixes a total observation order — the order recovery replays), so
+	// Concurrent mainly buys concurrent reads and the Engine's batched
+	// filter tier.
+	Concurrent bool
+
+	// Shards, Buffer are the Engine's concurrency knobs (Concurrent only).
+	Shards, Buffer int
+
+	// SegmentBytes rotates WAL segments at this size (default 64 MiB).
+	SegmentBytes int64
+
+	// FsyncInterval is the group-commit cadence (default 25ms): appends
+	// are acknowledged immediately and made durable together every
+	// interval, so a crash can lose at most the last interval's records.
+	// Negative disables timed fsync entirely; durability then happens at
+	// rotation, checkpoint, Sync and Close only (useful for tests and
+	// bulk loads).
+	FsyncInterval time.Duration
+
+	// CheckpointEvery is the auto-checkpoint cadence in timestamps:
+	// at epoch boundaries, once the clock has advanced this far since the
+	// last checkpoint, the full state is checkpointed and older WAL
+	// segments are truncated. The default is W — recovery then replays at
+	// most about one window of records. Negative disables automatic
+	// checkpoints (Checkpoint can still be called explicitly).
+	CheckpointEvery int64
+
+	// KeepCheckpoints is how many checkpoint files to retain (default 2:
+	// the newest plus one fallback in case the newest is unreadable).
+	KeepCheckpoints int
+}
+
+func (cfg DurableConfig) withDefaults() (DurableConfig, error) {
+	c, err := cfg.Config.withDefaults()
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Config = c
+	if cfg.SegmentBytes == 0 {
+		cfg.SegmentBytes = 64 << 20
+	}
+	if cfg.FsyncInterval == 0 {
+		cfg.FsyncInterval = 25 * time.Millisecond
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = cfg.W
+	}
+	if cfg.KeepCheckpoints <= 0 {
+		cfg.KeepCheckpoints = 2
+	}
+	return cfg, nil
+}
+
+// WALStats reports the durability layer's counters.
+type WALStats struct {
+	Records             uint64 // records appended this process
+	NextLSN             uint64 // total records in the stream (next record's index)
+	Segments            int    // live segment files on disk
+	Bytes               int64  // bytes across live segments
+	Syncs               uint64 // fsync batches issued
+	Truncated           int64  // torn-tail bytes discarded when the log was opened
+	Checkpoints         uint64 // checkpoints written this process
+	LastCheckpointLSN   uint64
+	LastCheckpointClock int64
+	Replayed            uint64 // WAL records replayed while opening
+}
+
+// Durable wraps a System or Engine with a write-ahead log: every Observe
+// and Tick is journaled before it is applied, so the exact state can be
+// reconstructed after a crash by OpenDurable (which recovers
+// automatically) or Recover. Because both deployments are
+// observation-order-deterministic, replaying the journal reproduces the
+// pre-crash state bit for bit; periodic checkpoints bound the replay to
+// roughly one window.
+//
+// Durable implements Source. All write methods are serialised by an
+// internal mutex — the journal fixes the total observation order that
+// recovery replays — and are safe to call from many goroutines. Snapshot
+// is safe concurrently with writes.
+//
+// Durability is group-committed: an acknowledged write is on disk no
+// later than FsyncInterval after it returned. Call Sync for a hard
+// barrier.
+type Durable struct {
+	cfg DurableConfig
+	dir string
+
+	mu     sync.Mutex
+	sys    *System // exactly one of sys/eng is non-nil
+	eng    *Engine
+	log    *wal.Log
+	clock  int64
+	closed bool
+
+	lastCkptClock int64
+	lastCkptLSN   uint64
+	ckptCount     uint64
+	replayed      uint64
+}
+
+// metaFile records the Config a log directory was created under, so later
+// opens (and Recover, which takes no config) replay under identical
+// parameters. A mismatched Config would silently break determinism.
+const metaFile = "meta.json"
+
+// writeMeta writes meta.json with the fsync-before-rename discipline the
+// checkpoint writer uses: this one file gates opening the directory at
+// all, so a power loss must never leave a renamed-but-empty meta behind.
+func writeMeta(dir string, cfg Config) error {
+	b, err := json.MarshalIndent(cfg, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, metaFile+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, metaFile)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func readMeta(dir string) (Config, bool, error) {
+	b, err := os.ReadFile(filepath.Join(dir, metaFile))
+	if os.IsNotExist(err) {
+		return Config{}, false, nil
+	}
+	if err != nil {
+		return Config{}, false, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(b, &cfg); err != nil {
+		return Config{}, false, fmt.Errorf("hotpaths: corrupt %s: %w", metaFile, err)
+	}
+	return cfg, true, nil
+}
+
+// OpenDurable opens (creating if needed) a durable deployment rooted at
+// dir. When the directory already holds a journal, the previous state is
+// recovered first — latest checkpoint plus WAL tail — and journaling
+// continues where it left off, so a daemon restart or crash loses at most
+// the records of the last un-synced group commit.
+func OpenDurable(dir string, cfg DurableConfig) (*Durable, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if prev, ok, err := readMeta(dir); err != nil {
+		return nil, err
+	} else if ok {
+		if prev != cfg.Config {
+			return nil, fmt.Errorf("hotpaths: %s was journaled under config %+v; reopening with %+v would break replay determinism", dir, prev, cfg.Config)
+		}
+	} else if err := writeMeta(dir, cfg.Config); err != nil {
+		return nil, err
+	}
+
+	// Open the log first: it truncates any torn tail, so the replay below
+	// sees exactly the record stream that will be appended to.
+	log, err := wal.Open(dir, wal.Options{
+		SegmentBytes:  cfg.SegmentBytes,
+		FsyncInterval: cfg.FsyncInterval,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	d := &Durable{cfg: cfg, dir: dir, log: log}
+	if err := d.buildSource(); err != nil {
+		log.Close()
+		return nil, err
+	}
+	ckptLSN, replayed, err := recoverInto(dir, cfg.Config, d.source())
+	if err != nil {
+		d.closeSource()
+		log.Close()
+		return nil, err
+	}
+	d.clock = d.snapshotClock()
+	d.lastCkptClock = d.clock
+	d.lastCkptLSN = ckptLSN
+	d.replayed = replayed
+	if log.NextLSN() < ckptLSN {
+		// The checkpoint is newer than the log's decodable end (segments
+		// removed out-of-band): appending below its LSN would write
+		// records recovery skips.
+		if err := log.ResetTo(ckptLSN); err != nil {
+			d.closeSource()
+			log.Close()
+			return nil, err
+		}
+	}
+	if replayed > 0 && cfg.CheckpointEvery >= 0 {
+		// Re-checkpoint after a non-trivial replay so the next recovery
+		// starts from here instead of paying the same replay again.
+		if err := d.checkpointLocked(); err != nil {
+			d.closeSource()
+			log.Close()
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// Recover rebuilds the state journaled in dir — latest checkpoint plus
+// WAL tail — into a fresh single-goroutine System and returns it, without
+// opening the directory for writing. It is the read-only half of the
+// durability contract: the returned Source is bit-identical to the
+// Durable that wrote the journal at its last applied record. The
+// directory's meta file supplies the Config.
+func Recover(dir string) (Source, error) {
+	cfg, ok, err := readMeta(dir)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("hotpaths: %s has no %s; not a durable log directory", dir, metaFile)
+	}
+	sys, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := recoverInto(dir, cfg, sys); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// restorer is the state-restoration surface shared by System and Engine.
+type restorer interface {
+	Source
+	restoreCheckpoint(st engine.State) error
+}
+
+func (s *System) restoreCheckpoint(st engine.State) error { return s.restoreState(st) }
+
+func (e *Engine) restoreCheckpoint(st engine.State) error { return e.eng.RestoreState(st) }
+
+// recoverInto loads the newest decodable checkpoint into src and replays
+// the WAL tail after it. Apply errors during replay are ignored: the
+// original run saw the identical error from the identical call and
+// carried on, so ignoring it reproduces the original state.
+func recoverInto(dir string, cfg Config, src restorer) (ckptLSN uint64, replayed uint64, err error) {
+	lsns, err := wal.Checkpoints(dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	for i := len(lsns) - 1; i >= 0; i-- {
+		payload, rerr := wal.ReadCheckpoint(dir, lsns[i])
+		if rerr != nil {
+			continue
+		}
+		st, derr := decodeCheckpoint(payload, cfg)
+		if derr != nil {
+			continue // corrupt or mismatched checkpoint: fall back to an older one
+		}
+		if err := src.restoreCheckpoint(st); err != nil {
+			return 0, 0, err
+		}
+		ckptLSN = lsns[i]
+		break
+	}
+	err = wal.ReadFrom(dir, ckptLSN, func(lsn uint64, r wal.Record) error {
+		replayed++
+		applyRecord(src, r)
+		return nil
+	})
+	if err != nil {
+		return ckptLSN, replayed, err
+	}
+	return ckptLSN, replayed, nil
+}
+
+// applyRecord replays one journaled call, discarding the error exactly as
+// the journaling path did after writing the record.
+func applyRecord(src Source, r wal.Record) {
+	switch r.Kind {
+	case wal.KindObserve:
+		if r.SigmaX != 0 || r.SigmaY != 0 {
+			type noisy interface {
+				ObserveNoisy(objectID int, x, y, sigmaX, sigmaY float64, t int64) error
+			}
+			_ = src.(noisy).ObserveNoisy(int(r.ObjectID), r.X, r.Y, r.SigmaX, r.SigmaY, r.T)
+			return
+		}
+		_ = src.Observe(int(r.ObjectID), r.X, r.Y, r.T)
+	case wal.KindTick:
+		_ = src.Tick(r.T)
+	}
+}
+
+func (d *Durable) buildSource() error {
+	if d.cfg.Concurrent {
+		eng, err := NewEngine(EngineConfig{Config: d.cfg.Config, Shards: d.cfg.Shards, Buffer: d.cfg.Buffer})
+		if err != nil {
+			return err
+		}
+		d.eng = eng
+		return nil
+	}
+	sys, err := New(d.cfg.Config)
+	if err != nil {
+		return err
+	}
+	d.sys = sys
+	return nil
+}
+
+func (d *Durable) source() restorer {
+	if d.eng != nil {
+		return d.eng
+	}
+	return d.sys
+}
+
+func (d *Durable) closeSource() {
+	if d.eng != nil {
+		d.eng.Close()
+	}
+}
+
+func (d *Durable) snapshotClock() int64 {
+	if d.eng != nil {
+		return d.eng.Snapshot().Clock()
+	}
+	return d.sys.lastNow
+}
+
+// Observe journals and applies one exact location measurement.
+func (d *Durable) Observe(objectID int, x, y float64, t int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrDurableClosed
+	}
+	if _, err := d.log.Append(wal.Record{
+		Kind: wal.KindObserve, ObjectID: int64(objectID), T: t, X: x, Y: y,
+	}); err != nil {
+		return fmt.Errorf("hotpaths: journal observe: %w", err)
+	}
+	return d.source().Observe(objectID, x, y, t)
+}
+
+// ObserveNoisy journals and applies one Gaussian measurement. It requires
+// Config.Delta > 0, like the underlying deployments.
+func (d *Durable) ObserveNoisy(objectID int, x, y, sigmaX, sigmaY float64, t int64) error {
+	if d.cfg.Delta <= 0 {
+		return fmt.Errorf("hotpaths: ObserveNoisy requires Config.Delta > 0")
+	}
+	if sigmaX <= 0 || sigmaY <= 0 {
+		return fmt.Errorf("hotpaths: standard deviations must be positive")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrDurableClosed
+	}
+	if _, err := d.log.Append(wal.Record{
+		Kind: wal.KindObserve, ObjectID: int64(objectID), T: t, X: x, Y: y,
+		SigmaX: sigmaX, SigmaY: sigmaY,
+	}); err != nil {
+		return fmt.Errorf("hotpaths: journal observe: %w", err)
+	}
+	if d.eng != nil {
+		return d.eng.ObserveNoisy(objectID, x, y, sigmaX, sigmaY, t)
+	}
+	return d.sys.ObserveNoisy(objectID, x, y, sigmaX, sigmaY, t)
+}
+
+// ObserveBatch journals and applies a batch of observations under one
+// lock acquisition and one journal write — the fast path for network
+// ingestion. The batch is validated before anything is journaled, so a
+// rejected batch leaves both journal and state untouched (matching
+// Engine.ObserveBatch's all-or-nothing contract). A journal I/O failure
+// poisons the log — every later write fails until the process restarts
+// and recovers — so the journal can never silently diverge from the
+// acknowledged stream.
+func (d *Durable) ObserveBatch(batch []Observation) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	recs := make([]wal.Record, len(batch))
+	for i, o := range batch {
+		if o.SigmaX != 0 || o.SigmaY != 0 {
+			if d.cfg.Delta <= 0 {
+				return fmt.Errorf("hotpaths: observation %d carries noise but Config.Delta is 0", i)
+			}
+			if o.SigmaX <= 0 || o.SigmaY <= 0 {
+				return fmt.Errorf("hotpaths: observation %d: standard deviations must both be positive", i)
+			}
+		}
+		recs[i] = wal.Record{
+			Kind: wal.KindObserve, ObjectID: int64(o.ObjectID), T: o.T,
+			X: o.X, Y: o.Y, SigmaX: o.SigmaX, SigmaY: o.SigmaY,
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrDurableClosed
+	}
+	if _, err := d.log.AppendBatch(recs); err != nil {
+		return fmt.Errorf("hotpaths: journal batch: %w", err)
+	}
+	if d.eng != nil {
+		return d.eng.ObserveBatch(batch)
+	}
+	// The System applies record-by-record — exactly how recovery replays —
+	// with per-record errors ignored, matching applyRecord.
+	for _, o := range batch {
+		if o.SigmaX != 0 || o.SigmaY != 0 {
+			_ = d.sys.ObserveNoisy(o.ObjectID, o.X, o.Y, o.SigmaX, o.SigmaY, o.T)
+			continue
+		}
+		_ = d.sys.Observe(o.ObjectID, o.X, o.Y, o.T)
+	}
+	return nil
+}
+
+// Tick journals and applies a clock advance. At epoch boundaries, once
+// the clock has moved CheckpointEvery timestamps past the last
+// checkpoint, the state is checkpointed and old WAL segments truncated.
+func (d *Durable) Tick(now int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrDurableClosed
+	}
+	if _, err := d.log.Append(wal.Record{Kind: wal.KindTick, T: now}); err != nil {
+		return fmt.Errorf("hotpaths: journal tick: %w", err)
+	}
+	err := d.source().Tick(now)
+	if now <= d.clock {
+		return err // clock did not advance; no epoch, no checkpoint
+	}
+	prev := d.clock
+	d.clock = now
+	boundary := now/d.cfg.Epoch != prev/d.cfg.Epoch
+	if boundary && d.cfg.CheckpointEvery >= 0 && now-d.lastCkptClock >= d.cfg.CheckpointEvery {
+		if cerr := d.checkpointLocked(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
+	}
+	return err
+}
+
+// Snapshot captures an immutable view of the current hot paths, counters
+// and clock. With a Concurrent backend it does not block writers.
+func (d *Durable) Snapshot() Snapshot {
+	if d.eng != nil {
+		return d.eng.Snapshot()
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sys.Snapshot()
+}
+
+// Stats returns the underlying deployment's counters (no path copy).
+func (d *Durable) Stats() Stats {
+	if d.eng != nil {
+		return d.eng.Stats()
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sys.Stats()
+}
+
+// Shards returns the backing Engine's shard count (1 for the
+// single-goroutine System backend).
+func (d *Durable) Shards() int {
+	if d.eng != nil {
+		return d.eng.Shards()
+	}
+	return 1
+}
+
+// Config returns the configuration with defaults applied.
+func (d *Durable) Config() Config { return d.cfg.Config }
+
+// Checkpoint forces a full-state checkpoint now and truncates WAL
+// segments older than it. It returns the LSN the checkpoint covers up to.
+func (d *Durable) Checkpoint() (uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, ErrDurableClosed
+	}
+	if err := d.checkpointLocked(); err != nil {
+		return 0, err
+	}
+	return d.lastCkptLSN, nil
+}
+
+// checkpointLocked: commit the journal, dump the state, write the
+// checkpoint durably, then drop segments the checkpoint covers.
+func (d *Durable) checkpointLocked() error {
+	if err := d.log.Sync(); err != nil {
+		return fmt.Errorf("hotpaths: checkpoint sync: %w", err)
+	}
+	lsn := d.log.NextLSN()
+	var st engine.State
+	if d.eng != nil {
+		var err error
+		st, err = d.eng.eng.DumpState()
+		if err != nil {
+			return err
+		}
+	} else {
+		st = d.sys.dumpState()
+	}
+	payload, err := encodeCheckpoint(d.cfg.Config, st)
+	if err != nil {
+		return err
+	}
+	if err := wal.WriteCheckpoint(d.dir, lsn, payload, d.cfg.KeepCheckpoints); err != nil {
+		return fmt.Errorf("hotpaths: write checkpoint: %w", err)
+	}
+	if err := d.log.TruncateBefore(lsn); err != nil {
+		return fmt.Errorf("hotpaths: truncate journal: %w", err)
+	}
+	d.lastCkptLSN = lsn
+	d.lastCkptClock = int64(st.Clock)
+	d.ckptCount++
+	return nil
+}
+
+// Sync is a hard durability barrier: every acknowledged write is on disk
+// when it returns.
+func (d *Durable) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrDurableClosed
+	}
+	return d.log.Sync()
+}
+
+// WAL returns the durability layer's counters.
+func (d *Durable) WAL() WALStats {
+	d.mu.Lock()
+	ckpts, ckptLSN, ckptClock, replayed := d.ckptCount, d.lastCkptLSN, d.lastCkptClock, d.replayed
+	log := d.log
+	d.mu.Unlock()
+	ls := log.Stats()
+	return WALStats{
+		Records:             ls.Records,
+		NextLSN:             ls.NextLSN,
+		Segments:            ls.Segments,
+		Bytes:               ls.Bytes,
+		Syncs:               ls.Syncs,
+		Truncated:           ls.Truncated,
+		Checkpoints:         ckpts,
+		LastCheckpointLSN:   ckptLSN,
+		LastCheckpointClock: ckptClock,
+		Replayed:            replayed,
+	}
+}
+
+// Close checkpoints the final state (unless automatic checkpoints are
+// disabled), commits and closes the journal, and stops the Engine's
+// shards when Concurrent. The directory recovers instantly on the next
+// OpenDurable. Close is idempotent.
+func (d *Durable) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	var errs []error
+	if d.cfg.CheckpointEvery >= 0 {
+		if err := d.checkpointLocked(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if err := d.log.Close(); err != nil {
+		errs = append(errs, err)
+	}
+	if d.eng != nil {
+		if err := d.eng.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	d.closed = true
+	return errors.Join(errs...)
+}
+
+// ErrDurableClosed is returned by operations on a closed Durable.
+var ErrDurableClosed = errors.New("hotpaths: durable deployment closed")
+
+var _ Source = (*Durable)(nil)

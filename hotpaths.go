@@ -72,6 +72,21 @@
 // reports back into the single-threaded arrival order before the
 // coordinator processes an epoch.
 //
+// # Durability: OpenDurable and Recover
+//
+// Both deployments are in-memory; OpenDurable wraps either in a
+// write-ahead log so the discovered state survives crashes and restarts.
+// Every Observe and Tick is journaled (length-prefixed, CRC-checksummed,
+// group-committed to disk every DurableConfig.FsyncInterval) before it is
+// applied; full-state checkpoints at epoch boundaries bound recovery to
+// about one window of replay. Because replaying the journal is just
+// re-running the deterministic pipeline, the recovered state — via
+// OpenDurable on the same directory, or read-only via Recover — is
+// bit-identical to the pre-crash state at the last durable record, a
+// property the crash-recovery golden tests enforce by cutting the log at
+// arbitrary byte offsets. The cmd/hotpathsd daemon exposes this as
+// -wal/-fsync flags plus a POST /admin/checkpoint endpoint.
+//
 // The full distributed simulation used by the paper's evaluation (road
 // network, moving-object workload, DP baseline, figure sweeps) lives in the
 // internal packages and is driven by the cmd/ tools and the benchmark
@@ -169,6 +184,10 @@ type System struct {
 	cfg     Config
 	coord   *coordinator.Coordinator
 	filters map[int]*raytrace.Filter
+	// sigmas remembers each object's first-observation noise levels — the
+	// parameters its tolerance model was built with — so checkpoints can
+	// rebuild the filter's ToleranceFunc on restore.
+	sigmas  map[int][2]float64
 	pending []coordinator.Report
 	stats   Stats
 	lastNow int64
@@ -229,6 +248,7 @@ func New(cfg Config) (*System, error) {
 		cfg:     cfg,
 		coord:   coord,
 		filters: make(map[int]*raytrace.Filter),
+		sigmas:  make(map[int][2]float64),
 	}, nil
 }
 
@@ -256,6 +276,9 @@ func (s *System) observe(objectID int, tp trajectory.TimePoint, sigmaX, sigmaY f
 	f, ok := s.filters[objectID]
 	if !ok {
 		s.filters[objectID] = raytrace.NewWithTolerance(tp, s.cfg.toleranceFunc(sigmaX, sigmaY))
+		if sigmaX != 0 || sigmaY != 0 {
+			s.sigmas[objectID] = [2]float64{sigmaX, sigmaY}
+		}
 		return nil
 	}
 	st, report, err := f.Process(tp)

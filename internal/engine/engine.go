@@ -109,7 +109,11 @@ type Engine struct {
 	followUps []coordinator.Report // reports raised by the previous epoch's responses
 	responses int
 	followed  int // follow-up reports, counted into Stats.Reports
-	closed    bool
+	// Counter baselines carried over from a restored checkpoint (the
+	// shard-level atomics restart at zero after RestoreState).
+	baseObserved int64
+	baseReported int64
+	closed       bool
 }
 
 // New validates cfg and starts the shard goroutines.
@@ -342,10 +346,11 @@ func (e *Engine) Stats() Stats {
 
 func (e *Engine) statsLocked() Stats {
 	st := Stats{
-		Responses:   e.responses,
-		Reports:     e.followed,
-		IndexSize:   e.coord.IndexSize(),
-		Coordinator: e.coord.Stats(),
+		Observations: int(e.baseObserved),
+		Reports:      e.followed + int(e.baseReported),
+		Responses:    e.responses,
+		IndexSize:    e.coord.IndexSize(),
+		Coordinator:  e.coord.Stats(),
 	}
 	for _, s := range e.shards {
 		st.Observations += int(s.observed.Load())

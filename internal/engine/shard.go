@@ -46,6 +46,10 @@ type shard struct {
 	tol  func(sigmaX, sigmaY float64) raytrace.ToleranceFunc
 
 	filters map[int]*raytrace.Filter
+	// sigmas remembers each object's first-observation noise levels — the
+	// parameters its tolerance model was built with — so checkpoints can
+	// rebuild the filter's ToleranceFunc on restore.
+	sigmas  map[int][2]float64
 	reports []taggedReport
 	err     error // first processing error since the last barrier
 
@@ -60,6 +64,7 @@ func newShard(buffer int, tol func(sigmaX, sigmaY float64) raytrace.ToleranceFun
 		done:    make(chan struct{}),
 		tol:     tol,
 		filters: make(map[int]*raytrace.Filter),
+		sigmas:  make(map[int][2]float64),
 	}
 }
 
@@ -90,6 +95,9 @@ func (s *shard) process(o obs) {
 	f, ok := s.filters[o.ObjectID]
 	if !ok {
 		s.filters[o.ObjectID] = raytrace.NewWithTolerance(tp, s.tol(o.SigmaX, o.SigmaY))
+		if o.SigmaX != 0 || o.SigmaY != 0 {
+			s.sigmas[o.ObjectID] = [2]float64{o.SigmaX, o.SigmaY}
+		}
 		return
 	}
 	st, report, err := f.Process(tp)

@@ -89,6 +89,40 @@ func (h *Window) Advance(now trajectory.Time, onZero func(motion.PathID)) {
 	}
 }
 
+// Crossing is one scheduled expiry event, exported for checkpointing.
+type Crossing struct {
+	Expiry trajectory.Time // te + W
+	ID     motion.PathID
+}
+
+// Dump captures the window's pending expiry events in heap layout. The
+// counts table is fully derived from the events (every live crossing has
+// exactly one pending event), so the dump is the complete window state.
+func (h *Window) Dump() []Crossing {
+	out := make([]Crossing, len(h.queue))
+	for i, e := range h.queue {
+		out[i] = Crossing{Expiry: e.expiry, ID: e.id}
+	}
+	return out
+}
+
+// Restore rebuilds a window of length w from a dump. The events are
+// reinstated in the dumped order — a valid heap layout, since that is how
+// they were captured — so subsequent Advance calls pop in exactly the
+// order the dumped window would have.
+func Restore(w trajectory.Time, events []Crossing) (*Window, error) {
+	h, err := New(w)
+	if err != nil {
+		return nil, err
+	}
+	h.queue = make(eventQueue, len(events))
+	for i, e := range events {
+		h.queue[i] = event{expiry: e.Expiry, id: e.ID}
+		h.counts[e.ID]++
+	}
+	return h, nil
+}
+
 // ForEach visits every (id, hotness) pair with non-zero hotness. Iteration
 // stops early if fn returns false. Order is unspecified.
 func (h *Window) ForEach(fn func(id motion.PathID, hotness int) bool) {

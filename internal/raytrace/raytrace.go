@@ -228,6 +228,55 @@ func (f *Filter) Respond(e trajectory.TimePoint) (st State, report bool, err err
 	return State{}, false, nil
 }
 
+// FilterState is the complete mutable state of a Filter, exported for
+// checkpointing. Restoring it (with the same tolerance model) yields a
+// filter whose future behaviour is bit-identical to the dumped one.
+type FilterState struct {
+	Start   geom.Point
+	Ts      trajectory.Time
+	FSA     geom.Rect
+	Te      trajectory.Time
+	Waiting bool
+	LastT   trajectory.Time
+	Buf     []trajectory.TimePoint
+	Stats   Stats
+}
+
+// Dump captures the filter's state for checkpointing.
+func (f *Filter) Dump() FilterState {
+	buf := make([]trajectory.TimePoint, len(f.buf))
+	copy(buf, f.buf)
+	return FilterState{
+		Start:   f.start,
+		Ts:      f.ts,
+		FSA:     f.fsa,
+		Te:      f.te,
+		Waiting: f.waiting,
+		LastT:   f.lastT,
+		Buf:     buf,
+		Stats:   f.stats,
+	}
+}
+
+// Restore rebuilds a filter from a dumped state and its tolerance model.
+// Only primed filters are ever dumped, so the restored filter is primed.
+func Restore(st FilterState, tol ToleranceFunc) *Filter {
+	buf := make([]trajectory.TimePoint, len(st.Buf))
+	copy(buf, st.Buf)
+	return &Filter{
+		tol:     tol,
+		start:   st.Start,
+		ts:      st.Ts,
+		fsa:     st.FSA,
+		te:      st.Te,
+		waiting: st.Waiting,
+		lastT:   st.LastT,
+		primed:  true,
+		buf:     buf,
+		stats:   st.Stats,
+	}
+}
+
 // Flush force-emits the current SSA as a final state (e.g. at simulation
 // end) provided at least one timepoint extended it. It does not enter
 // waiting mode.

@@ -14,12 +14,15 @@
 // ignoring the workload flags:
 //
 //	hotpaths -trace trace.txt [-eps 10] [-w 100] [-epoch 10] [-k 10]
-//	         [-engine] [-json] [-wal-record DIR]
+//	         [-engine] [-json] [-watch] [-wal-record DIR]
 //
 // The replay drives the hotpaths.Source interface, so -engine swaps the
 // single-goroutine System for the concurrent sharded Engine without
 // touching the replay loop; results are bit-identical. -json prints the
 // final top-k in the canonical PathJSON wire form instead of a table.
+// -watch additionally subscribes a standing top-k query to the replay
+// and prints one line per epoch delta — the continuous-query view a
+// hotpathsd client would receive on GET /watch.
 //
 // -wal-record DIR additionally journals the replayed stream into a
 // write-ahead log directory (the full journal is kept — no checkpoint
@@ -63,6 +66,7 @@ func main() {
 		traceIn   = flag.String("trace", "", "replay a recorded measurement trace instead of simulating")
 		useEng    = flag.Bool("engine", false, "replay through the concurrent Engine instead of the System")
 		jsonOut   = flag.Bool("json", false, "print replay results as canonical PathJSON")
+		watch     = flag.Bool("watch", false, "with -trace: print one subscription delta line per epoch while replaying")
 		walRecord = flag.String("wal-record", "", "journal the trace replay into this write-ahead log directory")
 		walReplay = flag.String("wal-replay", "", "reconstruct state offline from a write-ahead log directory and print the top-k")
 		iid       = flag.Bool("iid", false, "use the literal i.i.d. agility model instead of traffic lights")
@@ -78,13 +82,16 @@ func main() {
 		return
 	}
 	if *traceIn != "" {
-		if err := replayTrace(*traceIn, *eps, *w, *epoch, *k, *useEng, *jsonOut, *walRecord); err != nil {
+		if err := replayTrace(*traceIn, *eps, *w, *epoch, *k, *useEng, *jsonOut, *watch, *walRecord); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	if *walRecord != "" {
 		fatal(fmt.Errorf("-wal-record requires -trace"))
+	}
+	if *watch {
+		fatal(fmt.Errorf("-watch requires -trace"))
 	}
 
 	net, err := loadNetwork(*netFile, *seed)
@@ -184,7 +191,7 @@ func replayWAL(dir string, jsonOut bool) error {
 // resulting top-k. The loop is written against hotpaths.Source, so the
 // System and Engine deployments replay identically. A non-empty walRecord
 // journals the stream to that directory as it replays.
-func replayTrace(path string, eps float64, w, epoch int64, k int, useEngine, jsonOut bool, walRecord string) (retErr error) {
+func replayTrace(path string, eps float64, w, epoch int64, k int, useEngine, jsonOut, watch bool, walRecord string) (retErr error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -251,6 +258,37 @@ func replayTrace(path string, eps float64, w, epoch int64, k int, useEngine, jso
 		}
 		src = sys
 	}
+	// -watch: a standing top-k query rides along with the replay, printing
+	// the per-epoch deltas a live monitoring client would see. The printer
+	// runs on its own goroutine — exactly the consumption model of the
+	// daemon's SSE handler — and drains before the final table prints.
+	var (
+		watchSub  *hotpaths.Subscription
+		watchDone chan struct{}
+	)
+	if watch {
+		sub, err := src.Subscribe(hotpaths.Query{}.K(k))
+		if err != nil {
+			return err
+		}
+		watchSub = sub
+		watchDone = make(chan struct{})
+		go func() {
+			defer close(watchDone)
+			for d := range sub.Deltas() {
+				if d.Empty() && !d.Reset {
+					continue
+				}
+				tag := ""
+				if d.Reset {
+					tag = "  [reset]"
+				}
+				fmt.Printf("watch: t=%-6d epoch=%-4d +%d entered  ~%d changed  -%d left  missed=%d%s\n",
+					d.Clock, d.Epoch, len(d.Entered), len(d.Changed), len(d.Left), d.Missed, tag)
+			}
+		}()
+	}
+
 	// Walk every timestamp so epochs fire on schedule even through silent
 	// stretches; records are time-ordered, so a single cursor suffices.
 	endT := int64(recs[len(recs)-1].TP.T)
@@ -266,6 +304,13 @@ func replayTrace(path string, eps float64, w, epoch int64, k int, useEngine, jso
 		if err := src.Tick(t); err != nil {
 			return err
 		}
+	}
+
+	if watchSub != nil {
+		// Detach the watcher; buffered deltas stay readable after Close,
+		// so the printer drains them before the final table prints.
+		watchSub.Close()
+		<-watchDone
 	}
 
 	// One snapshot answers every read consistently.

@@ -16,8 +16,9 @@
 //	GET  /paths             every live path as JSON
 //	GET  /paths.geojson     live paths as a GeoJSON FeatureCollection
 //	GET  /stats             ingestion, coordinator and WAL counters
+//	GET  /watch             Server-Sent Events: one result delta per epoch
 //	POST /admin/checkpoint  force a checkpoint + WAL truncation (-wal only)
-//	GET  /healthz           liveness probe
+//	GET  /healthz           liveness probe; 503 once WAL I/O has failed
 //
 // With -wal DIR the daemon journals every observation and tick to a
 // write-ahead log before applying it, checkpoints the full engine state
@@ -33,6 +34,14 @@
 //	min_hotness=3                     only paths with hotness >= 3
 //	bbox=minx,miny,maxx,maxy          only paths ending inside the box
 //	sort=hotness|score                rank by hotness (default) or hotness×length
+//
+// GET /watch accepts the same parameters (k defaulting to -k, like /topk)
+// but holds the connection open as a Server-Sent Events stream: the first
+// "delta" event carries the query's current result, and each epoch
+// boundary afterwards emits the paths that entered, left or changed
+// hotness. A slow consumer never blocks ingestion — undelivered deltas
+// are dropped and the next event re-baselines the client with the full
+// result ("reset": true, "missed" counting the dropped epochs).
 //
 // Time is logical and client-driven: producers POST observation batches
 // for a timestamp, then advance the clock (inline via "tick", or from a
@@ -50,6 +59,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
@@ -134,11 +144,16 @@ func run() int {
 		src, drain = eng, eng.Close
 	}
 
+	api := newServer(src, dur)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(src, dur).handler(),
+		Handler:           api.handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	// End open /watch streams when Shutdown begins: their subscriptions
+	// only close when the backend drains, which happens after Shutdown —
+	// without the hook every watcher would pin Shutdown to its timeout.
+	srv.RegisterOnShutdown(api.stopWatches)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -207,6 +222,12 @@ func parseBounds(s string) (hotpaths.Rect, error) {
 		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
 		if err != nil {
 			return hotpaths.Rect{}, fmt.Errorf("bounds component %q: %w", p, err)
+		}
+		// ParseFloat accepts "NaN" and "Inf", and every ordered comparison
+		// downstream (max < min, rectangle containment) is false for NaN —
+		// a non-finite box would silently match nothing.
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return hotpaths.Rect{}, fmt.Errorf("bounds component %q must be finite", p)
 		}
 		vals[i] = v
 	}

@@ -22,6 +22,7 @@ type backend interface {
 	Tick(now int64) error
 	Snapshot() hotpaths.Snapshot
 	Stats() hotpaths.Stats
+	Subscribe(q hotpaths.Query) (*hotpaths.Subscription, error)
 	Config() hotpaths.Config
 	Shards() int
 }
@@ -41,6 +42,13 @@ type server struct {
 	gen    atomic.Uint64
 	mu     sync.Mutex
 	cached *cachedSnapshot
+
+	// closing is closed when the HTTP server begins shutting down, so
+	// /watch streams end instead of pinning Shutdown until its timeout
+	// (the backend, whose Close would end them, is only drained after
+	// Shutdown returns).
+	closing  chan struct{}
+	stopOnce sync.Once
 }
 
 type cachedSnapshot struct {
@@ -49,7 +57,13 @@ type cachedSnapshot struct {
 }
 
 func newServer(src backend, dur *hotpaths.Durable) *server {
-	return &server{src: src, dur: dur, started: time.Now()}
+	return &server{src: src, dur: dur, started: time.Now(), closing: make(chan struct{})}
+}
+
+// stopWatches ends every open /watch stream; registered with the HTTP
+// server's shutdown hook.
+func (s *server) stopWatches() {
+	s.stopOnce.Do(func() { close(s.closing) })
 }
 
 // snapshot returns the cached engine snapshot, taking a fresh one when a
@@ -85,6 +99,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /paths", s.handlePaths)
 	mux.HandleFunc("GET /paths.geojson", s.handleGeoJSON)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /watch", s.handleWatch)
 	mux.HandleFunc("POST /admin/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -148,7 +163,7 @@ func (s *server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err := s.src.ObserveBatch(batch); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, s.writeErrStatus(), err)
 		return
 	}
 	s.invalidate()
@@ -159,7 +174,7 @@ func (s *server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			// The batch was already ingested; report that alongside the
 			// tick failure so clients don't re-send the observations.
-			writeJSON(w, http.StatusBadRequest, map[string]any{
+			writeJSON(w, s.writeErrStatus(), map[string]any{
 				"error":    err.Error(),
 				"accepted": len(batch),
 			})
@@ -170,6 +185,18 @@ func (s *server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// writeErrStatus picks the status for a failed write: 400 for what must
+// be the client's bad input, 503 once the WAL is poisoned — then every
+// write fails server-side no matter what the client sent, and a 4xx
+// would make well-behaved clients drop their batches instead of failing
+// over (retry policies do not retry client errors).
+func (s *server) writeErrStatus() int {
+	if s.dur != nil && s.dur.Err() != nil {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
 func (s *server) handleTick(w http.ResponseWriter, r *http.Request) {
 	var req tickRequest
 	if !decodeBody(w, r, &req) {
@@ -178,7 +205,7 @@ func (s *server) handleTick(w http.ResponseWriter, r *http.Request) {
 	err := s.src.Tick(req.Now)
 	s.invalidate()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, s.writeErrStatus(), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"now": req.Now})
@@ -279,6 +306,101 @@ func (s *server) handleGeoJSON(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// deltaJSON is the wire form of one subscription delta, carried as the
+// data of an SSE "delta" event on GET /watch. Entered and changed use
+// the PathJSON shape of /topk except that rank is 0: a delta only sees a
+// slice of the result, so a real rank cannot be assigned, and a
+// positional one would read as the /topk meaning and mislead clients.
+type deltaJSON struct {
+	Clock   int64               `json:"clock"`
+	Epoch   int64               `json:"epoch"`
+	Reset   bool                `json:"reset,omitempty"`
+	Missed  int                 `json:"missed,omitempty"`
+	Entered []hotpaths.PathJSON `json:"entered"`
+	Changed []hotpaths.PathJSON `json:"changed"`
+	Left    []uint64            `json:"left"`
+}
+
+// unranked converts delta paths to the wire form with rank zeroed (see
+// deltaJSON).
+func unranked(paths []hotpaths.HotPath) []hotpaths.PathJSON {
+	out := hotpaths.PathsJSON(paths)
+	for i := range out {
+		out[i].Rank = 0
+	}
+	return out
+}
+
+func writeSSE(w http.ResponseWriter, d hotpaths.Delta) error {
+	left := d.Left
+	if left == nil {
+		left = []uint64{}
+	}
+	body, err := json.Marshal(deltaJSON{
+		Clock:   d.Clock,
+		Epoch:   d.Epoch,
+		Reset:   d.Reset,
+		Missed:  d.Missed,
+		Entered: unranked(d.Entered),
+		Changed: unranked(d.Changed),
+		Left:    left,
+	})
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: delta\ndata: %s\n\n", d.Epoch, body)
+	return err
+}
+
+// handleWatch serves GET /watch: a Server-Sent Events stream carrying one
+// JSON delta per epoch boundary for a standing query built from the same
+// k/min_hotness/bbox/sort parameters as /topk (k defaults to -k). The
+// first event is a reset carrying the query's current result; the stream
+// ends when the client disconnects or the daemon shuts down. A client
+// that reads too slowly never blocks ingestion — it is re-baselined by a
+// reset event whose missed field counts the dropped epochs (see the
+// README's watching section).
+func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	q, err := queryParams(r, s.src.Config().K)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, errors.New("streaming unsupported by connection"))
+		return
+	}
+	sub, err := s.src.Subscribe(q)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer sub.Close()
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.closing:
+			return
+		case d, open := <-sub.Deltas():
+			if !open {
+				return // backend closed: daemon shutting down
+			}
+			if err := writeSSE(w, d); err != nil {
+				return // client went away mid-event
+			}
+			fl.Flush()
+		}
+	}
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.src.Stats()
 	resp := map[string]any{
@@ -302,6 +424,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp["wal_checkpoints"] = ws.Checkpoints
 		resp["wal_checkpoint_lsn"] = ws.LastCheckpointLSN
 		resp["wal_replayed"] = ws.Replayed
+		// Empty while healthy; the poisoning error once journal I/O has
+		// failed (every write then 503s until the daemon restarts).
+		walErr := ""
+		if err := s.dur.Err(); err != nil {
+			walErr = err.Error()
+		}
+		resp["wal_error"] = walErr
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -322,7 +451,20 @@ func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"lsn": lsn})
 }
 
+// handleHealthz reports liveness — and, with -wal, writability: once the
+// journal is poisoned by an I/O failure every write is failing, so
+// answering 200 would keep load balancers routing ingest at a daemon
+// that can only refuse it.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.dur != nil {
+		if err := s.dur.Err(); err != nil {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"status": "degraded",
+				"error":  err.Error(),
+			})
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
 }
 

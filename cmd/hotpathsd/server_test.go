@@ -1,13 +1,18 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
+	"time"
 
 	"hotpaths"
 )
@@ -477,9 +482,213 @@ func TestParseBounds(t *testing.T) {
 	if r.Max.X != 100 || r.Max.Y != 200 {
 		t.Errorf("parsed %+v", r)
 	}
-	for _, bad := range []string{"", "1,2,3", "a,b,c,d"} {
+	for _, bad := range []string{
+		"", "1,2,3", "a,b,c,d",
+		// ParseFloat accepts these spellings; the daemon must not.
+		"NaN,0,1,1", "0,nan,1,1", "0,0,Inf,1", "0,0,1,-Inf", "+Inf,0,1,1",
+	} {
 		if _, err := parseBounds(bad); err == nil {
 			t.Errorf("parseBounds(%q) must fail", bad)
 		}
+	}
+}
+
+// The shared query-parameter parser must reject the whole error matrix —
+// including non-finite bbox components, which strconv.ParseFloat happily
+// accepts and every rectangle comparison then silently mismatches.
+func TestQueryParamsErrorMatrix(t *testing.T) {
+	h := newTestHandler(t)
+	bad := []string{
+		"/topk?k=1&limit=2",
+		"/topk?k=-1",
+		"/topk?k=abc",
+		"/topk?limit=-5",
+		"/paths?min_hotness=-1",
+		"/paths?min_hotness=x",
+		"/topk?bbox=1,2,3",
+		"/topk?bbox=a,b,c,d",
+		"/topk?bbox=NaN,0,10,10",
+		"/topk?bbox=0,NaN,10,10",
+		"/topk?bbox=0,0,Inf,10",
+		"/topk?bbox=0,0,10,-Inf",
+		"/topk?bbox=+Inf,0,10,10",
+		"/paths.geojson?bbox=10,10,0,0",
+		"/watch?bbox=0,NaN,5,5",
+		"/watch?k=2&limit=3",
+		"/topk?sort=banana",
+	}
+	for _, u := range bad {
+		if rec := do(t, h, http.MethodGet, u, nil); rec.Code != http.StatusBadRequest {
+			t.Errorf("GET %s = %d, want 400 (%s)", u, rec.Code, rec.Body.String())
+		}
+	}
+	good := []string{
+		"/topk?k=3&min_hotness=1&bbox=0,0,500,500&sort=score",
+		"/paths?limit=2&sort=hotness",
+		"/paths?bbox=-10,-10,10,10",
+		"/paths.geojson?bbox=5,5,5,5", // degenerate point box is a valid region
+	}
+	for _, u := range good {
+		if rec := do(t, h, http.MethodGet, u, nil); rec.Code != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200 (%s)", u, rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// GET /watch end to end: an SSE client subscribes, the zig-zag feed runs
+// its epochs, and the deltas — applied event by event — must reconstruct
+// exactly what /topk reports from the final snapshot.
+func TestWatchStreamsDeltas(t *testing.T) {
+	h := newTestHandler(t)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Get(ts.URL + "/watch?k=5&min_hotness=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("watch: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("watch content-type %q", ct)
+	}
+
+	feedZigZag(t, h) // 40 timestamps -> epoch boundaries at t=10,20,30,40
+
+	result := map[uint64]int{}
+	events, sawID, sawEvent, reachedEnd := 0, false, false, false
+	sc := bufio.NewScanner(resp.Body)
+scan:
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			sawID = true
+		case line == "event: delta":
+			sawEvent = true
+		case strings.HasPrefix(line, "data: "):
+			var d deltaJSON
+			if err := json.Unmarshal([]byte(line[len("data: "):]), &d); err != nil {
+				t.Fatalf("bad delta payload %q: %v", line, err)
+			}
+			events++
+			if d.Missed != 0 {
+				t.Errorf("unexpected drops in a promptly-read stream: %+v", d)
+			}
+			if events == 1 && !d.Reset {
+				t.Errorf("first event must be the reset baseline: %s", line)
+			}
+			if d.Entered == nil || d.Changed == nil || d.Left == nil {
+				t.Errorf("delta slices must encode as [], got %s", line)
+			}
+			if d.Reset {
+				result = map[uint64]int{}
+			}
+			for _, p := range d.Entered {
+				result[p.ID] = p.Hotness
+			}
+			for _, p := range d.Changed {
+				result[p.ID] = p.Hotness
+			}
+			for _, id := range d.Left {
+				delete(result, id)
+			}
+			if d.Clock == 40 {
+				reachedEnd = true
+				break scan
+			}
+		}
+	}
+	if !reachedEnd {
+		t.Fatalf("stream ended before the t=40 delta (%d events, err %v)", events, sc.Err())
+	}
+	if !sawID || !sawEvent {
+		t.Errorf("SSE framing incomplete: id line %v, event line %v", sawID, sawEvent)
+	}
+	if events < 2 {
+		t.Errorf("only %d delta events over 4 epochs", events)
+	}
+
+	rec := do(t, h, http.MethodGet, "/topk?k=5&min_hotness=1", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("topk: %d", rec.Code)
+	}
+	want := map[uint64]int{}
+	for _, p := range decode[[]hotpaths.PathJSON](t, rec) {
+		want[p.ID] = p.Hotness
+	}
+	if len(want) == 0 {
+		t.Fatal("no hot paths at t=40; the feed should have produced some")
+	}
+	if !reflect.DeepEqual(result, want) {
+		t.Errorf("SSE-reconstructed result %v != /topk %v", result, want)
+	}
+}
+
+// Once journal I/O fails the WAL is poisoned and every write is refused;
+// /healthz must flip to 503 with the poisoning error and /stats must
+// surface it as wal_error, instead of the old unconditional 200.
+func TestHealthzReportsPoisonedWAL(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	dur, err := hotpaths.OpenDurable(dir, hotpaths.DurableConfig{
+		Config:          serverTestConfig(),
+		Concurrent:      true,
+		Shards:          2,
+		FsyncInterval:   -1,
+		CheckpointEvery: -1,
+		SegmentBytes:    1, // every append after the first forces a segment rotation
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dur.Close() }) // returns the poisoning error; irrelevant here
+	h := newServer(dur, dur).handler()
+
+	if rec := do(t, h, http.MethodGet, "/healthz", nil); rec.Code != http.StatusOK {
+		t.Fatalf("healthy daemon: healthz = %d", rec.Code)
+	}
+	st := decode[map[string]any](t, do(t, h, http.MethodGet, "/stats", nil))
+	if got := st["wal_error"]; got != "" {
+		t.Fatalf("healthy daemon: wal_error = %v", got)
+	}
+
+	obs := func(tick int64) *httptest.ResponseRecorder {
+		return do(t, h, http.MethodPost, "/observe", observeRequest{
+			Observations: []observationJSON{{Object: 1, X: float64(tick), Y: 0, T: tick}},
+		})
+	}
+	if rec := obs(1); rec.Code != http.StatusOK {
+		t.Fatalf("first observe: %d %s", rec.Code, rec.Body.String())
+	}
+	// Yank the journal directory out from under the daemon: the next
+	// append needs a segment rotation, whose create fails and poisons the
+	// log — the closest test stand-in for a dying disk.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	// The poisoning write itself may surface as either status depending
+	// on when the failure is detected, but once poisoned every further
+	// write must be 503 — it is a server fault, not a client one.
+	if rec := obs(2); rec.Code != http.StatusBadRequest && rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("write on a dying WAL: %d, want 400 or 503", rec.Code)
+	}
+	if rec := obs(3); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("write on a poisoned WAL: %d, want 503", rec.Code)
+	}
+
+	rec := do(t, h, http.MethodGet, "/healthz", nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("poisoned daemon: healthz = %d, want 503", rec.Code)
+	}
+	body := decode[map[string]any](t, rec)
+	if body["status"] != "degraded" || body["error"] == "" {
+		t.Errorf("healthz body %v", body)
+	}
+	st = decode[map[string]any](t, do(t, h, http.MethodGet, "/stats", nil))
+	if got, _ := st["wal_error"].(string); !strings.Contains(got, "wal") {
+		t.Errorf("stats wal_error = %q, want the poisoning error", got)
 	}
 }

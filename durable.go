@@ -373,8 +373,13 @@ func (d *Durable) snapshotClock() int64 {
 	return d.sys.lastNow
 }
 
-// Observe journals and applies one exact location measurement.
+// Observe journals and applies one exact location measurement. It is
+// validated first — a rejected measurement must never reach the journal,
+// where replay would re-apply it after every recovery.
 func (d *Durable) Observe(objectID int, x, y float64, t int64) error {
+	if err := checkCoords(x, y); err != nil {
+		return err
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
@@ -394,8 +399,11 @@ func (d *Durable) ObserveNoisy(objectID int, x, y, sigmaX, sigmaY float64, t int
 	if d.cfg.Delta <= 0 {
 		return fmt.Errorf("hotpaths: ObserveNoisy requires Config.Delta > 0")
 	}
-	if sigmaX <= 0 || sigmaY <= 0 {
-		return fmt.Errorf("hotpaths: standard deviations must be positive")
+	if err := checkCoords(x, y); err != nil {
+		return err
+	}
+	if err := checkSigmas(sigmaX, sigmaY); err != nil {
+		return err
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -428,13 +436,8 @@ func (d *Durable) ObserveBatch(batch []Observation) error {
 	}
 	recs := make([]wal.Record, len(batch))
 	for i, o := range batch {
-		if o.SigmaX != 0 || o.SigmaY != 0 {
-			if d.cfg.Delta <= 0 {
-				return fmt.Errorf("hotpaths: observation %d carries noise but Config.Delta is 0", i)
-			}
-			if o.SigmaX <= 0 || o.SigmaY <= 0 {
-				return fmt.Errorf("hotpaths: observation %d: standard deviations must both be positive", i)
-			}
+		if err := checkObservation(i, o, d.cfg.Delta); err != nil {
+			return err
 		}
 		recs[i] = wal.Record{
 			Kind: wal.KindObserve, ObjectID: int64(o.ObjectID), T: o.T,
@@ -571,6 +574,15 @@ func (d *Durable) checkpointLocked() error {
 	return nil
 }
 
+// Err reports the durability layer's poisoned state: the first journal
+// I/O failure, or nil while the log is healthy. Once non-nil, every write
+// fails with it until the process restarts and recovers — operators
+// should surface it from health probes (the hotpathsd daemon turns it
+// into a 503 on /healthz and a wal_error field on /stats).
+func (d *Durable) Err() error {
+	return d.log.Err()
+}
+
 // Sync is a hard durability barrier: every acknowledged write is on disk
 // when it returns.
 func (d *Durable) Sync() error {
@@ -626,6 +638,10 @@ func (d *Durable) Close() error {
 		if err := d.eng.Close(); err != nil {
 			errs = append(errs, err)
 		}
+	} else {
+		// The Engine backend closes its subscriptions itself; the System
+		// has no Close, so shut its hub down here.
+		d.sys.subs.closeAll()
 	}
 	d.closed = true
 	return errors.Join(errs...)

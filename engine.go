@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"hotpaths/internal/coordinator"
 	"hotpaths/internal/engine"
 	"hotpaths/internal/geom"
 	"hotpaths/internal/trajectory"
@@ -51,6 +52,9 @@ type EngineConfig struct {
 type Engine struct {
 	cfg Config
 	eng *engine.Engine
+	// subs fans epoch snapshots out to standing queries; published from
+	// the internal engine's OnEpoch hook, after the epoch barrier.
+	subs hub
 }
 
 // NewEngine validates cfg and starts the engine's shard goroutines. Call
@@ -64,26 +68,49 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	e := &Engine{cfg: c}
+	// The epoch hook's snapshot is captured under the engine write lock —
+	// always a consistent post-epoch view — while the fan-out work
+	// (per-subscription query + diff + delivery) runs after the lock is
+	// released and never stalls producers. The capture itself is skipped
+	// while nobody subscribes (EpochWanted). Callers that tick from
+	// several goroutines at once can reorder hook deliveries; the hub
+	// drops the stale ones by epoch number, so subscribers still see a
+	// strictly ordered stream.
 	eng, err := engine.New(engine.Config{
 		Coord:     coord,
 		Epoch:     trajectory.Time(c.Epoch),
 		Tolerance: c.toleranceFunc,
 		Shards:    cfg.Shards,
 		Buffer:    cfg.Buffer,
+		OnEpoch: func(snap *coordinator.Snapshot, now trajectory.Time, st engine.Stats) {
+			e.subs.publish(Snapshot{
+				snap:  snap,
+				clock: int64(now),
+				stats: convertStats(st),
+				k:     c.K,
+			})
+		},
+		EpochWanted: func() bool { return e.subs.any() },
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{cfg: c, eng: eng}, nil
+	e.eng = eng
+	return e, nil
 }
 
 // Shards returns the engine's shard count.
 func (e *Engine) Shards() int { return e.eng.Shards() }
 
 // Observe enqueues one exact location measurement for objectID at
-// timestamp t. Processing is asynchronous: per-observation errors (e.g. a
-// non-increasing timestamp) surface from the next epoch-boundary Tick.
+// timestamp t. Coordinates must be finite. Processing is asynchronous:
+// per-observation errors (e.g. a non-increasing timestamp) surface from
+// the next epoch-boundary Tick.
 func (e *Engine) Observe(objectID int, x, y float64, t int64) error {
+	if err := checkCoords(x, y); err != nil {
+		return err
+	}
 	return e.eng.Observe(engine.Observation{
 		ObjectID: objectID,
 		P:        geom.Pt(x, y),
@@ -97,8 +124,11 @@ func (e *Engine) ObserveNoisy(objectID int, x, y, sigmaX, sigmaY float64, t int6
 	if e.cfg.Delta <= 0 {
 		return fmt.Errorf("hotpaths: ObserveNoisy requires Config.Delta > 0")
 	}
-	if sigmaX <= 0 || sigmaY <= 0 {
-		return fmt.Errorf("hotpaths: standard deviations must be positive")
+	if err := checkCoords(x, y); err != nil {
+		return err
+	}
+	if err := checkSigmas(sigmaX, sigmaY); err != nil {
+		return err
 	}
 	return e.eng.Observe(engine.Observation{
 		ObjectID: objectID,
@@ -109,20 +139,36 @@ func (e *Engine) ObserveNoisy(objectID int, x, y, sigmaX, sigmaY float64, t int6
 	})
 }
 
+// checkObservation validates one batched observation against the
+// deployment's noise mode, before it can reach shard-queue or WAL state;
+// the index locates the bad element for the client. The rules are the
+// shared badCoords/badSigmas predicates, so the batch and single-call
+// ingest paths can never drift apart.
+func checkObservation(i int, o Observation, delta float64) error {
+	if err := badCoords(o.X, o.Y); err != nil {
+		return fmt.Errorf("hotpaths: observation %d: %w", i, err)
+	}
+	if o.SigmaX == 0 && o.SigmaY == 0 {
+		return nil
+	}
+	if delta <= 0 {
+		return fmt.Errorf("hotpaths: observation %d carries noise but Config.Delta is 0", i)
+	}
+	if err := badSigmas(o.SigmaX, o.SigmaY); err != nil {
+		return fmt.Errorf("hotpaths: observation %d: %w", i, err)
+	}
+	return nil
+}
+
 // ObserveBatch enqueues a batch of observations in one pass — the fast
 // path for network ingestion: the batch is split into at most one queue
-// message per shard. Order is preserved per object.
+// message per shard. Order is preserved per object. The batch is
+// validated up front, so a rejected batch enqueues nothing.
 func (e *Engine) ObserveBatch(batch []Observation) error {
 	conv := make([]engine.Observation, len(batch))
 	for i, o := range batch {
-		noisy := o.SigmaX != 0 || o.SigmaY != 0
-		if noisy {
-			if e.cfg.Delta <= 0 {
-				return fmt.Errorf("hotpaths: observation %d carries noise but Config.Delta is 0", i)
-			}
-			if o.SigmaX <= 0 || o.SigmaY <= 0 {
-				return fmt.Errorf("hotpaths: observation %d: standard deviations must both be positive", i)
-			}
+		if err := checkObservation(i, o, e.cfg.Delta); err != nil {
+			return err
 		}
 		conv[i] = engine.Observation{
 			ObjectID: o.ObjectID,
@@ -145,10 +191,15 @@ func (e *Engine) Tick(now int64) error {
 	return e.eng.Tick(trajectory.Time(now))
 }
 
-// Close drains and stops the shard goroutines. Queries remain valid after
-// Close; ingestion and Tick fail. It is idempotent and returns the first
-// unsurfaced processing error, if any.
-func (e *Engine) Close() error { return e.eng.Close() }
+// Close drains and stops the shard goroutines and closes every
+// subscription channel (no further epochs can fire). Queries remain valid
+// after Close; ingestion, Tick and Subscribe fail. It is idempotent and
+// returns the first unsurfaced processing error, if any.
+func (e *Engine) Close() error {
+	err := e.eng.Close()
+	e.subs.closeAll()
+	return err
+}
 
 // Config returns the engine's configuration with defaults applied.
 func (e *Engine) Config() Config { return e.cfg }

@@ -48,6 +48,35 @@
 // straddle an epoch boundary and disagree; take one Snapshot when
 // multiple reads must be mutually consistent.
 //
+// # Watching: Subscribe and Delta
+//
+// Subscribe turns a Query into a standing query: instead of polling
+// snapshots, the caller receives a Delta on a channel at every epoch
+// boundary — the paths that entered the result set, left it, or changed
+// hotness. The first delta is the query's current result; applying each
+// delta to the previous result (Delta.Apply) reproduces exactly what
+// Snapshot().Query(q) returns at that boundary:
+//
+//	sub, _ := src.Subscribe(hotpaths.Query{}.MinHotness(3).K(20))
+//	go func() {
+//		var result []hotpaths.HotPath
+//		for d := range sub.Deltas() {
+//			result = d.Apply(result)
+//			fmt.Printf("t=%d: +%d -%d, %d hot paths\n",
+//				d.Clock, len(d.Entered), len(d.Left), len(result))
+//		}
+//	}()
+//
+// Publication never blocks ingestion: each subscription has a buffered
+// channel, and when a slow consumer lets it fill, the undelivered deltas
+// are dropped and replaced by a single reset delta carrying the query's
+// full current result (Delta.Reset; Delta.Missed counts the dropped
+// epochs) — the consumer is re-baselined automatically and never has to
+// resynchronise by hand. Closing the Engine or Durable closes every
+// subscription channel; Subscription.Close detaches one subscriber. The
+// cmd/hotpathsd daemon exposes subscriptions as GET /watch, a
+// Server-Sent Events stream.
+//
 // # Concurrency: System vs Engine
 //
 // The package offers two deployments of the same architecture:
@@ -97,6 +126,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"hotpaths/internal/coordinator"
 	"hotpaths/internal/geom"
@@ -191,6 +221,10 @@ type System struct {
 	pending []coordinator.Report
 	stats   Stats
 	lastNow int64
+	// subs fans epoch snapshots out to standing queries; it has its own
+	// mutex, so Subscription.Close and channel reads are goroutine-safe
+	// even though the System itself is single-goroutine.
+	subs hub
 }
 
 // withDefaults validates cfg and fills in the defaulted fields.
@@ -253,9 +287,13 @@ func New(cfg Config) (*System, error) {
 }
 
 // Observe feeds one location measurement for objectID at timestamp t.
-// Timestamps must be strictly increasing per object. In (ε,δ) mode the
-// measurement is treated as exact; use ObserveNoisy to pass its noise.
+// Timestamps must be strictly increasing per object, and coordinates must
+// be finite. In (ε,δ) mode the measurement is treated as exact; use
+// ObserveNoisy to pass its noise.
 func (s *System) Observe(objectID int, x, y float64, t int64) error {
+	if err := checkCoords(x, y); err != nil {
+		return err
+	}
 	return s.observe(objectID, trajectory.TP(geom.Pt(x, y), trajectory.Time(t)), 0, 0)
 }
 
@@ -265,10 +303,55 @@ func (s *System) ObserveNoisy(objectID int, x, y, sigmaX, sigmaY float64, t int6
 	if s.cfg.Delta <= 0 {
 		return fmt.Errorf("hotpaths: ObserveNoisy requires Config.Delta > 0")
 	}
-	if sigmaX <= 0 || sigmaY <= 0 {
-		return fmt.Errorf("hotpaths: standard deviations must be positive")
+	if err := checkCoords(x, y); err != nil {
+		return err
+	}
+	if err := checkSigmas(sigmaX, sigmaY); err != nil {
+		return err
 	}
 	return s.observe(objectID, trajectory.TP(geom.Pt(x, y), trajectory.Time(t)), sigmaX, sigmaY)
+}
+
+// finite rejects the values every geometric comparison downstream handles
+// wrongly: NaN compares false against everything, so a NaN coordinate
+// would silently wedge a filter's safe-area state instead of erroring.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// badCoords and badSigmas are the single source of the ingest validation
+// rules and messages; the prefix-adding wrappers below adapt them to the
+// single-observation and batch error shapes.
+
+func badCoords(x, y float64) error {
+	if !finite(x) || !finite(y) {
+		return fmt.Errorf("coordinates must be finite, got (%v, %v)", x, y)
+	}
+	return nil
+}
+
+// badSigmas validates noisy-measurement standard deviations: positive
+// and finite (an infinite sigma would make every tolerance rectangle
+// unbounded).
+func badSigmas(sigmaX, sigmaY float64) error {
+	if !(sigmaX > 0 && sigmaY > 0 && finite(sigmaX) && finite(sigmaY)) {
+		return fmt.Errorf("standard deviations must be positive and finite, got (%v, %v)", sigmaX, sigmaY)
+	}
+	return nil
+}
+
+// checkCoords validates a measurement's coordinates at the API boundary,
+// before they can reach filter or WAL state.
+func checkCoords(x, y float64) error {
+	if err := badCoords(x, y); err != nil {
+		return fmt.Errorf("hotpaths: %w", err)
+	}
+	return nil
+}
+
+func checkSigmas(sigmaX, sigmaY float64) error {
+	if err := badSigmas(sigmaX, sigmaY); err != nil {
+		return fmt.Errorf("hotpaths: %w", err)
+	}
+	return nil
 }
 
 func (s *System) observe(objectID int, tp trajectory.TimePoint, sigmaX, sigmaY float64) error {
@@ -353,6 +436,12 @@ func (s *System) Tick(now int64) error {
 		if report {
 			s.enqueue(r.ObjectID, st)
 		}
+	}
+	// Fan the post-epoch state out to standing queries. The snapshot copy
+	// is skipped entirely while nobody subscribes; publication itself
+	// never blocks (see hub).
+	if s.subs.any() {
+		s.subs.publish(s.Snapshot())
 	}
 	return errors.Join(errs...)
 }

@@ -383,6 +383,10 @@ func (c *Coordinator) insertPath(s, e geom.Point) motion.PathID {
 
 // TopK returns the k hottest stored paths, sorted by hotness descending
 // (ties: longer first, then smaller id). k ≤ 0 returns all paths sorted.
+// This comparator defines the canonical result order; the public
+// package's subscription layer (sortResults in subscribe.go) reproduces
+// it to reconstruct query results from deltas, so any tie-break change
+// here must be mirrored there.
 func (c *Coordinator) TopK(k int) []motion.HotPath {
 	out := make([]motion.HotPath, 0, len(c.paths))
 	c.hot.ForEach(func(id motion.PathID, h int) bool {

@@ -23,6 +23,11 @@ import (
 type Snapshot struct {
 	Paths []motion.HotPath // canonical hottest-first order
 
+	// Epoch is the coordinator's epoch sequence number (Stats.Epochs) at
+	// the instant the snapshot was taken. Subscription deltas carry it as
+	// their cursor; synthetic snapshots built with SnapshotOf leave it 0.
+	Epoch int
+
 	bounds     geom.Rect
 	cols, rows int
 
@@ -35,7 +40,9 @@ type Snapshot struct {
 // caller must hold whatever lock protects the coordinator; the returned
 // value needs no further synchronisation.
 func (c *Coordinator) Snapshot() *Snapshot {
-	return SnapshotOf(c.TopK(0), c.cfg.Bounds, c.cfg.Cols, c.cfg.Rows)
+	s := SnapshotOf(c.TopK(0), c.cfg.Bounds, c.cfg.Cols, c.cfg.Rows)
+	s.Epoch = c.stats.Epochs
+	return s
 }
 
 // SnapshotOf builds a snapshot directly from a path set in canonical

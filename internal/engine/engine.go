@@ -82,6 +82,24 @@ type Config struct {
 
 	// Buffer is the per-shard queue capacity in messages (default 256).
 	Buffer int
+
+	// OnEpoch, when set, is invoked once per epoch-boundary Tick — after
+	// the merged batch has been processed, responses delivered and the
+	// window advanced. Its arguments are captured under the write lock
+	// (so they are always a consistent post-epoch view), but the call
+	// itself runs after the lock is released, so the callback's fan-out
+	// cost never stalls ingestion. Callers that violate the Tick
+	// contract by ticking concurrently (the daemon's HTTP surface can)
+	// may therefore deliver callbacks out of epoch order — never torn
+	// state — so the callback must tolerate a stale view arriving after
+	// a newer one (the hotpaths hub drops them by epoch number).
+	OnEpoch func(snap *coordinator.Snapshot, now trajectory.Time, st Stats)
+
+	// EpochWanted, when set alongside OnEpoch, is consulted under the
+	// lock before the snapshot is captured: returning false skips both
+	// the O(paths) capture and the callback for that epoch. It lets the
+	// owner pay nothing while nobody subscribes.
+	EpochWanted func() bool
 }
 
 // Stats aggregates the engine's counters. While ingestion is in flight the
@@ -210,19 +228,40 @@ func (e *Engine) ObserveBatch(batch []Observation) error {
 // be counted in a later epoch — callers wanting the System-identical
 // schedule must order Observe-before-Tick themselves.
 func (e *Engine) Tick(now trajectory.Time) error {
+	err, view := e.tick(now)
+	if view != nil {
+		// Captured under the write lock, delivered outside it: the
+		// callback's fan-out work never stalls ingestion. See
+		// Config.OnEpoch for the ordering caveat.
+		e.cfg.OnEpoch(view.snap, view.now, view.st)
+	}
+	return err
+}
+
+// epochView is the OnEpoch argument set, captured atomically with the
+// epoch that produced it.
+type epochView struct {
+	snap *coordinator.Snapshot
+	now  trajectory.Time
+	st   Stats
+}
+
+// tick is Tick under the write lock; a non-nil view means an epoch batch
+// was processed and OnEpoch should run with it.
+func (e *Engine) tick(now trajectory.Time) (err error, view *epochView) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
-		return ErrClosed
+		return ErrClosed, nil
 	}
 	if now <= e.lastNow {
-		return fmt.Errorf("engine: Tick(%d) after Tick(%d); time must advance", now, e.lastNow)
+		return fmt.Errorf("engine: Tick(%d) after Tick(%d); time must advance", now, e.lastNow), nil
 	}
 	prev := e.lastNow
 	e.lastNow = now
 	e.coord.Advance(now)
 	if now/e.cfg.Epoch == prev/e.cfg.Epoch {
-		return nil
+		return nil, nil
 	}
 	e.drainLocked()
 
@@ -247,16 +286,16 @@ func (e *Engine) Tick(now trajectory.Time) error {
 	for _, tr := range e.staged {
 		batch = append(batch, tr.rep)
 	}
-	resps, err := e.coord.ProcessEpoch(batch)
+	resps, perr := e.coord.ProcessEpoch(batch)
 	e.staged = e.staged[:0]
 	e.followUps = nil
-	if err != nil {
+	if perr != nil {
 		// Validation is deterministic per report, so a rejected batch can
 		// never succeed later; it is dropped rather than wedging every
 		// future epoch (mirrors System.Tick). RayTrace filters cannot
 		// produce such reports.
-		errs = append(errs, err)
-		return errors.Join(errs...)
+		errs = append(errs, perr)
+		return errors.Join(errs...), nil
 	}
 	// A sparse clock that jumped more than W past the reports' exit
 	// timestamps makes the just-recorded crossings already stale; expire
@@ -277,7 +316,10 @@ func (e *Engine) Tick(now trajectory.Time) error {
 			e.followed++
 		}
 	}
-	return errors.Join(errs...)
+	if e.cfg.OnEpoch != nil && (e.cfg.EpochWanted == nil || e.cfg.EpochWanted()) {
+		view = &epochView{snap: e.coord.Snapshot(), now: e.lastNow, st: e.statsLocked()}
+	}
+	return errors.Join(errs...), view
 }
 
 // drainLocked flushes every shard queue and waits until all shards are

@@ -32,9 +32,24 @@ func (q *eventQueue) Pop() interface{} {
 	old := *q
 	n := len(old)
 	e := old[n-1]
-	*q = old[:n-1]
+	old = old[:n-1]
+	// Re-slicing alone would pin the high-water backing array for the
+	// life of the window after a mass expiry; halve the capacity whenever
+	// occupancy falls below a quarter (amortised O(1) per pop, and the
+	// next growth burst is still one allocation away).
+	if cap(old) > minQueueCap && len(old) < cap(old)/4 {
+		shrunk := make(eventQueue, len(old), cap(old)/2)
+		copy(shrunk, old)
+		*q = shrunk
+	} else {
+		*q = old
+	}
 	return e
 }
+
+// minQueueCap is the capacity floor below which the event queue stops
+// shrinking; reallocating tiny arrays would cost more than it frees.
+const minQueueCap = 64
 
 // Window tracks per-path crossing counts over a sliding window of length W.
 type Window struct {

@@ -149,3 +149,61 @@ func TestWindowMatchesBruteForce(t *testing.T) {
 		}
 	}
 }
+
+// After a mass expiry the event queue's backing array must shrink: Pop
+// used to re-slice only, pinning the high-water allocation for the life
+// of the window.
+func TestEventQueueShrinksAfterMassExpiry(t *testing.T) {
+	h := mustWindow(t, 10)
+	const n = 1 << 14
+	for i := 0; i < n; i++ {
+		h.Cross(motion.PathID(i), trajectory.Time(i%100+1))
+	}
+	highWater := cap(h.queue)
+	if highWater < n {
+		t.Fatalf("sanity: queue capacity %d below %d events", highWater, n)
+	}
+
+	// Expire everything; the drain must hand the memory back instead of
+	// keeping a 16k-event array behind an empty queue.
+	h.Advance(1_000_000, nil)
+	if h.Pending() != 0 || h.Len() != 0 {
+		t.Fatalf("window not drained: %d pending, %d counts", h.Pending(), h.Len())
+	}
+	if c := cap(h.queue); c > highWater/8 {
+		t.Errorf("event queue capacity %d did not shrink from high water %d", c, highWater)
+	}
+
+	// Shrinking must not corrupt the heap: a fresh burst still expires in
+	// exact order.
+	for i := 0; i < 100; i++ {
+		h.Cross(motion.PathID(i), trajectory.Time(2_000_000+int64(i)))
+	}
+	h.Advance(2_000_000+50+10, nil)
+	if got := h.Len(); got != 49 {
+		t.Fatalf("after partial re-expiry: %d live paths, want 49", got)
+	}
+}
+
+// A partial expiry must shrink too, without touching surviving events.
+func TestEventQueueShrinkKeepsSurvivors(t *testing.T) {
+	h := mustWindow(t, 5)
+	const n = 4096
+	for i := 0; i < n; i++ {
+		h.Cross(motion.PathID(i), trajectory.Time(i+1))
+	}
+	before := cap(h.queue)
+	// Expire all but the last 64 crossings (te+W <= n-64+5).
+	h.Advance(trajectory.Time(n-64+5), nil)
+	if got := h.Pending(); got != 64 {
+		t.Fatalf("pending %d want 64", got)
+	}
+	if c := cap(h.queue); c >= before {
+		t.Errorf("capacity %d did not drop from %d", c, before)
+	}
+	for i := n - 64; i < n; i++ {
+		if h.Hotness(motion.PathID(i)) != 1 {
+			t.Fatalf("survivor %d lost its count", i)
+		}
+	}
+}

@@ -426,6 +426,16 @@ func (l *Log) Sync() error {
 	return l.syncLocked()
 }
 
+// Err reports the log's poisoned state: the first unrecoverable I/O
+// failure (from an append, a rotation, or a background group commit), or
+// nil while the log is healthy. Once non-nil, every later Append and Sync
+// fails with the same error; the process must restart and recover.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncErr
+}
+
 // NextLSN returns the LSN the next appended record will receive.
 func (l *Log) NextLSN() uint64 {
 	l.mu.Lock()

@@ -26,6 +26,9 @@ type Source interface {
 	// Snapshot captures an immutable view of the current hot paths,
 	// counters and clock.
 	Snapshot() Snapshot
+	// Subscribe registers a standing query, re-evaluated at every epoch
+	// boundary; the subscription receives one Delta per epoch.
+	Subscribe(q Query) (*Subscription, error)
 }
 
 var (
@@ -133,6 +136,16 @@ func (e *Engine) Snapshot() Snapshot {
 // taken.
 func (s Snapshot) Clock() int64 { return s.clock }
 
+// Epoch returns the number of epochs the source had processed when the
+// snapshot was taken. It is the sequence number subscription deltas carry,
+// so a consumer can line a snapshot up against a delta stream.
+func (s Snapshot) Epoch() int64 {
+	if s.snap == nil {
+		return 0
+	}
+	return int64(s.snap.Epoch)
+}
+
 // Stats returns the counters at the snapshot instant.
 func (s Snapshot) Stats() Stats { return s.stats }
 
@@ -174,16 +187,7 @@ func (s Snapshot) Query(q Query) []HotPath {
 		return convert(sel)
 	}
 	out := convert(sel)
-	sort.Slice(out, func(i, j int) bool {
-		si, sj := out[i].Score(), out[j].Score()
-		if si != sj {
-			return si > sj
-		}
-		if out[i].Hotness != out[j].Hotness {
-			return out[i].Hotness > out[j].Hotness
-		}
-		return out[i].ID < out[j].ID
-	})
+	sortResults(out, q.order)
 	if q.k > 0 && q.k < len(out) {
 		out = out[:q.k]
 	}

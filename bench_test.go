@@ -12,8 +12,10 @@ package hotpaths_test
 import (
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 	"runtime"
 	"testing"
+	"time"
 
 	"hotpaths"
 
@@ -517,6 +519,64 @@ func BenchmarkRecover(b *testing.B) {
 		b.StopTimer()
 		reportObsRate(b, nObjects*horizon)
 	})
+}
+
+// BenchmarkFollowerReplay measures follower apply throughput: the
+// BenchmarkRecover/replay workload, but arriving over a real (loopback)
+// replication stream into hotpaths.OpenFollower instead of from local
+// disk. The acceptance bar for the replication subsystem is staying
+// within 2x of BenchmarkRecover's replay path — the follower pays HTTP
+// framing and stream decode on top of the same deterministic replay, and
+// batching the applies is what keeps that overhead in budget.
+func BenchmarkFollowerReplay(b *testing.B) {
+	const nObjects, horizon = 512, 60
+	batches := ingestBatches(nObjects, horizon)
+	dir := b.TempDir()
+	dur, err := hotpaths.OpenDurable(dir, hotpaths.DurableConfig{
+		Config:          ingestConfig(),
+		FsyncInterval:   -1,
+		CheckpointEvery: -1, // no checkpoints: the follower replays every record
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, batch := range batches {
+		if err := dur.ObserveBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+		if err := dur.Tick(batch[0].T); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := dur.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	defer dur.Close()
+	srv := httptest.NewServer(hotpaths.NewReplicationFeed(dur, nil))
+	defer srv.Close()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := hotpaths.OpenFollower(srv.URL, hotpaths.FollowerConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for f.Replication().AppliedLSN < dur.NextLSN() {
+			time.Sleep(200 * time.Microsecond)
+		}
+		b.StopTimer()
+		// Verification (an O(paths) snapshot) and teardown run off-clock;
+		// the timed section is bootstrap + stream + apply only.
+		if got := f.Snapshot().Stats().Observations; got != nObjects*horizon {
+			b.Fatalf("follower replayed %d observations, want %d", got, nObjects*horizon)
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	reportObsRate(b, nObjects*horizon)
 }
 
 // --- Snapshot query path: region scans and top-k over large snapshots ---

@@ -31,20 +31,38 @@
 // or from a crashed hotpathsd -wal directory — and prints the top-k:
 //
 //	hotpaths -wal-replay DIR [-json]
+//
+// -wal-tail streams a journal as human-readable records, one line per
+// record, following the live tail until interrupted — the replication
+// debugging sibling of -wal-replay. The target is either a journal
+// directory (tailing the files a live hotpathsd -wal is writing) or a
+// primary's base URL (consuming its /wal/stream feed exactly as a
+// follower does, heartbeats included):
+//
+//	hotpaths -wal-tail DIR
+//	hotpaths -wal-tail http://primary:8080 [-from 1000]
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
 
 	"hotpaths/internal/dp"
+	"hotpaths/internal/replication"
 	"hotpaths/internal/roadnet"
 	"hotpaths/internal/simulation"
 	"hotpaths/internal/stats"
 	"hotpaths/internal/trace"
 	"hotpaths/internal/trajectory"
+	"hotpaths/internal/wal"
 	"hotpaths/internal/workload"
 
 	"hotpaths"
@@ -69,12 +87,20 @@ func main() {
 		watch     = flag.Bool("watch", false, "with -trace: print one subscription delta line per epoch while replaying")
 		walRecord = flag.String("wal-record", "", "journal the trace replay into this write-ahead log directory")
 		walReplay = flag.String("wal-replay", "", "reconstruct state offline from a write-ahead log directory and print the top-k")
+		walTail   = flag.String("wal-tail", "", "stream a journal directory or a primary's base URL as human-readable records until interrupted")
+		tailFrom  = flag.Uint64("from", 0, "with -wal-tail: start at this LSN")
 		iid       = flag.Bool("iid", false, "use the literal i.i.d. agility model instead of traffic lights")
 		runDP     = flag.Bool("dp", false, "also run the DP benchmark")
 		quiet     = flag.Bool("quiet", false, "suppress per-epoch rows")
 	)
 	flag.Parse()
 
+	if *walTail != "" {
+		if err := tailWAL(*walTail, *tailFrom); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *walReplay != "" {
 		if err := replayWAL(*walReplay, *jsonOut); err != nil {
 			fatal(err)
@@ -173,6 +199,97 @@ func main() {
 		)
 	}
 	tb.WriteTo(os.Stdout)
+}
+
+// tailWAL streams a journal — a directory, or a primary's /wal/stream
+// feed when the target is an http(s) URL — printing one line per record
+// until interrupted. It is the debugging view of replication: what a
+// follower would apply, in the order it would apply it.
+func tailWAL(target string, from uint64) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	printRec := func(lsn uint64, r wal.Record) {
+		switch r.Kind {
+		case wal.KindObserve:
+			if r.SigmaX != 0 || r.SigmaY != 0 {
+				fmt.Printf("lsn=%-8d observe  object=%-6d t=%-8d x=%.3f y=%.3f sigma=(%g,%g)\n",
+					lsn, r.ObjectID, r.T, r.X, r.Y, r.SigmaX, r.SigmaY)
+				return
+			}
+			fmt.Printf("lsn=%-8d observe  object=%-6d t=%-8d x=%.3f y=%.3f\n", lsn, r.ObjectID, r.T, r.X, r.Y)
+		case wal.KindTick:
+			fmt.Printf("lsn=%-8d tick     t=%d\n", lsn, r.T)
+		default:
+			fmt.Printf("lsn=%-8d kind=%d (unknown)\n", lsn, r.Kind)
+		}
+	}
+
+	if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") {
+		c := &replication.Client{Base: target}
+		for ctx.Err() == nil {
+			err := c.Stream(ctx, from,
+				func(lsn uint64, r wal.Record) error {
+					printRec(lsn, r)
+					from = lsn + 1
+					return nil
+				},
+				func(st replication.Status) {
+					fmt.Printf("# heartbeat: primary lsn=%d epoch=%d clock=%d (lag %d records)\n",
+						st.NextLSN, st.Epoch, st.Clock, st.NextLSN-from)
+				})
+			if ctx.Err() != nil {
+				return nil
+			}
+			if errors.Is(err, replication.ErrSnapshotNeeded) {
+				lsn, _, cerr := c.Checkpoint(ctx)
+				if cerr != nil {
+					return fmt.Errorf("records at LSN %d are truncated and no checkpoint is readable: %w", from, cerr)
+				}
+				fmt.Printf("# records [%d, %d) truncated by a primary checkpoint; skipping ahead\n", from, lsn)
+				from = lsn
+				continue
+			}
+			fmt.Printf("# stream dropped (%v); reconnecting from lsn=%d\n", err, from)
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(time.Second):
+			}
+		}
+		return nil
+	}
+
+	tl := wal.Follow(target, from)
+	defer tl.Close()
+	for ctx.Err() == nil {
+		frames, lsn, n, err := tl.ReadBatch(0)
+		var te *wal.TruncatedError
+		if errors.As(err, &te) {
+			fmt.Printf("# records [%d, %d) truncated by a checkpoint; skipping ahead\n", te.From, te.Oldest)
+			tl.Close()
+			tl = wal.Follow(target, te.Oldest)
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		off := 0
+		for i := 0; i < n; i++ {
+			r, consumed, derr := wal.DecodeRecord(frames[off:])
+			if derr != nil {
+				return fmt.Errorf("decode frame at LSN %d: %w", lsn+uint64(i), derr)
+			}
+			printRec(lsn+uint64(i), r)
+			off += consumed
+		}
+		if n == 0 {
+			select {
+			case <-ctx.Done():
+			case <-time.After(100 * time.Millisecond):
+			}
+		}
+	}
+	return nil
 }
 
 // replayWAL reconstructs the state journaled in a write-ahead log

@@ -7,6 +7,8 @@
 //	          [-k 10] [-shards 0] [-buffer 256] [-grid 64]
 //	          [-bounds 0,0,16000,16000] [-snapshot paths.geojson]
 //	          [-wal DIR] [-fsync 25ms]
+//	hotpathsd -follow http://primary:8080 [-addr :8081] [-shards 0]
+//	          [-buffer 256] [-max-lag 100000]
 //
 // Endpoints:
 //
@@ -15,10 +17,15 @@
 //	GET  /topk              top-k hottest paths as JSON (k defaults to -k)
 //	GET  /paths             every live path as JSON
 //	GET  /paths.geojson     live paths as a GeoJSON FeatureCollection
-//	GET  /stats             ingestion, coordinator and WAL counters
+//	GET  /stats             ingestion, coordinator, WAL and replication counters
 //	GET  /watch             Server-Sent Events: one result delta per epoch
 //	POST /admin/checkpoint  force a checkpoint + WAL truncation (-wal only)
 //	GET  /healthz           liveness probe; 503 once WAL I/O has failed
+//	                        or (with -follow) replication is down/lagging
+//	GET  /wal/meta          -wal only: the journal's Config (followers fetch it)
+//	GET  /wal/checkpoint    -wal only: newest checkpoint blob for follower bootstrap
+//	GET  /wal/stream        -wal only: live WAL frame stream from ?from=LSN
+//	POST /admin/reconnect   -follow only: drop and re-establish the stream
 //
 // With -wal DIR the daemon journals every observation and tick to a
 // write-ahead log before applying it, checkpoints the full engine state
@@ -26,6 +33,17 @@
 // the directory — restarts and crashes lose at most the last -fsync
 // interval of acknowledged writes. See the README's "Durability &
 // operations" section for the on-disk layout and recovery procedure.
+//
+// A -wal daemon is also a replication primary: it serves its journal to
+// followers over /wal/stream. With -follow URL the daemon is instead a
+// read-only follower of that primary — it bootstraps from the primary's
+// checkpoint, tails its WAL, and serves the same read endpoints with
+// results byte-identical to the primary's at every shared epoch. Write
+// endpoints answer 403 on a follower; the pipeline flags (-eps, -w,
+// -epoch, -k, -bounds, ...) are ignored because the follower adopts the
+// primary's journal configuration; /healthz answers 503 while the stream
+// is down or the record lag exceeds -max-lag. See the README's
+// "Replication & read scaling" section.
 //
 // The three read endpoints answer from one consistent engine snapshot per
 // request and share the query parameters
@@ -91,8 +109,11 @@ func run() int {
 		grid     = flag.Int("grid", 64, "coordinator grid resolution (grid x grid cells)")
 		bounds   = flag.String("bounds", "0,0,16000,16000", "monitored region: minx,miny,maxx,maxy")
 		snapshot = flag.String("snapshot", "", "write final paths as GeoJSON here on shutdown")
-		walDir   = flag.String("wal", "", "journal directory: enables the write-ahead log, checkpoints and crash recovery")
+		walDir   = flag.String("wal", "", "journal directory: enables the write-ahead log, checkpoints, crash recovery and the replication feed")
 		fsync    = flag.Duration("fsync", 25*time.Millisecond, "WAL group-commit interval (with -wal); negative disables timed fsync")
+		segBytes = flag.Int64("wal-segment", 0, "WAL segment rotation size in bytes (with -wal; 0 = 64 MiB default)")
+		follow   = flag.String("follow", "", "primary base URL: run as a read-only replica of that hotpathsd (e.g. http://primary:8080)")
+		maxLag   = flag.Uint64("max-lag", 100_000, "with -follow: /healthz degrades once the follower lags this many records behind the primary (0 disables)")
 	)
 	flag.Parse()
 
@@ -110,20 +131,38 @@ func run() int {
 		GridCols: *grid,
 		GridRows: *grid,
 	}
-	// The backend: a bare Engine, or the Durable wrapper around one when
-	// -wal is set (which first recovers any state already journaled there).
+	// The backend: a bare Engine; the Durable wrapper around one when -wal
+	// is set (which first recovers any state already journaled there); or
+	// a read-only Follower replicating a primary when -follow is set.
 	var (
 		src   backend
 		dur   *hotpaths.Durable
+		fol   *hotpaths.Follower
 		drain func() error
 	)
-	if *walDir != "" {
+	if *follow != "" {
+		if *walDir != "" {
+			return fail(errors.New("-follow and -wal are mutually exclusive: a follower replays the primary's journal instead of writing its own"))
+		}
+		fol, err = hotpaths.OpenFollower(*follow, hotpaths.FollowerConfig{
+			Shards: *shards,
+			Buffer: *buffer,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		src, drain = fol, fol.Close
+		rs := fol.Replication()
+		logf("following %s: bootstrapped at lsn %d (epoch %d), config %+v",
+			*follow, rs.AppliedLSN, rs.AppliedEpoch, fol.Config())
+	} else if *walDir != "" {
 		dur, err = hotpaths.OpenDurable(*walDir, hotpaths.DurableConfig{
 			Config:        cfg,
 			Concurrent:    true,
 			Shards:        *shards,
 			Buffer:        *buffer,
 			FsyncInterval: *fsync,
+			SegmentBytes:  *segBytes,
 		})
 		if err != nil {
 			return fail(err)
@@ -144,7 +183,7 @@ func run() int {
 		src, drain = eng, eng.Close
 	}
 
-	api := newServer(src, dur)
+	api := newServer(src, serverOpts{dur: dur, fol: fol, maxLag: *maxLag})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           api.handler(),
@@ -159,8 +198,11 @@ func run() int {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
+	// Log the resolved config, not the flags: a follower adopts the
+	// primary's journal parameters and ignores the local pipeline flags.
+	rcfg := src.Config()
 	logf("listening on %s (%d shards, eps=%g, w=%d, epoch=%d)",
-		*addr, src.Shards(), *eps, *w, *epoch)
+		*addr, src.Shards(), rcfg.Eps, rcfg.W, rcfg.Epoch)
 
 	select {
 	case err := <-errc:

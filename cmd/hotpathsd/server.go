@@ -27,12 +27,24 @@ type backend interface {
 	Shards() int
 }
 
+// serverOpts are the deployment-mode extras around the core backend:
+// exactly one of dur/fol may be set (a daemon is a primary, a follower,
+// or a bare in-memory engine).
+type serverOpts struct {
+	dur    *hotpaths.Durable // -wal: durability + the primary-side replication feed
+	fol    *hotpaths.Follower
+	maxLag uint64 // -max-lag: /healthz degrades past this record lag (0 = never)
+}
+
 // server wires the backend to the HTTP surface. Ingestion state lives in
 // the backend; the server only adds its start time and a read-side
 // snapshot cache.
 type server struct {
 	src     backend
 	dur     *hotpaths.Durable // non-nil (and == src) when -wal is set
+	fol     *hotpaths.Follower
+	repl    http.Handler // the WAL feed, mounted when dur != nil
+	maxLag  uint64
 	started time.Time
 
 	// gen counts writes (observe/tick). Readers reuse one cached snapshot
@@ -56,8 +68,21 @@ type cachedSnapshot struct {
 	gen  uint64
 }
 
-func newServer(src backend, dur *hotpaths.Durable) *server {
-	return &server{src: src, dur: dur, started: time.Now(), closing: make(chan struct{})}
+func newServer(src backend, opts serverOpts) *server {
+	s := &server{
+		src:     src,
+		dur:     opts.dur,
+		fol:     opts.fol,
+		maxLag:  opts.maxLag,
+		started: time.Now(),
+		closing: make(chan struct{}),
+	}
+	if opts.dur != nil {
+		// The library feed, wired to the shutdown channel so open streams
+		// end when the HTTP server drains instead of pinning Shutdown.
+		s.repl = hotpaths.NewReplicationFeed(opts.dur, s.closing)
+	}
+	return s
 }
 
 // stopWatches ends every open /watch stream; registered with the HTTP
@@ -66,13 +91,25 @@ func (s *server) stopWatches() {
 	s.stopOnce.Do(func() { close(s.closing) })
 }
 
+// readGen is the cache key for the snapshot cache: the local write count
+// normally, the follower's apply generation in -follow mode (writes
+// arrive from the replication stream there, not through this server, so
+// the local counter would never move and the cache would pin a stale
+// view forever).
+func (s *server) readGen() uint64 {
+	if s.fol != nil {
+		return s.fol.Generation()
+	}
+	return s.gen.Load()
+}
+
 // snapshot returns the cached engine snapshot, taking a fresh one when a
 // write has happened since it was cached. A snapshot taken concurrently
 // with a write is served to its own request but not cached: the
 // generation check guarantees the cache never pins a view older than the
 // last completed write.
 func (s *server) snapshot() hotpaths.Snapshot {
-	g := s.gen.Load()
+	g := s.readGen()
 	s.mu.Lock()
 	c := s.cached
 	s.mu.Unlock()
@@ -81,7 +118,7 @@ func (s *server) snapshot() hotpaths.Snapshot {
 	}
 	snap := s.src.Snapshot()
 	s.mu.Lock()
-	if s.gen.Load() == g {
+	if s.readGen() == g {
 		s.cached = &cachedSnapshot{snap: snap, gen: g}
 	}
 	s.mu.Unlock()
@@ -102,7 +139,30 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /watch", s.handleWatch)
 	mux.HandleFunc("POST /admin/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.repl != nil {
+		// The primary-side replication feed: followers bootstrap from the
+		// checkpoint and tail the WAL as a long-lived frame stream.
+		mux.Handle("/wal/", s.repl)
+	}
+	if s.fol != nil {
+		mux.HandleFunc("POST /admin/reconnect", s.handleReconnect)
+	}
 	return mux
+}
+
+// rejectReadOnly answers writes on a follower: 403 rather than 400/405,
+// because the request is well-formed and allowed — just not here. The
+// body names the primary so a misconfigured client can be redirected by
+// its operator.
+func (s *server) rejectReadOnly(w http.ResponseWriter) bool {
+	if s.fol == nil {
+		return false
+	}
+	writeJSON(w, http.StatusForbidden, map[string]any{
+		"error":   hotpaths.ErrReadOnly.Error(),
+		"primary": s.fol.Primary(),
+	})
+	return true
 }
 
 // observationJSON is the wire form of one measurement.
@@ -150,6 +210,9 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 }
 
 func (s *server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	var req observeRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -198,6 +261,9 @@ func (s *server) writeErrStatus() int {
 }
 
 func (s *server) handleTick(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	var req tickRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -403,6 +469,9 @@ func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.src.Stats()
+	// One consistent snapshot answers the epoch/clock/path-count trio —
+	// the fields follower-lag monitoring lines up against the primary's.
+	snap := s.snapshot()
 	resp := map[string]any{
 		"observations":   st.Observations,
 		"reports":        st.Reports,
@@ -411,9 +480,28 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"paths_expired":  st.PathsExpired,
 		"crossings":      st.Crossings,
 		"index_size":     st.IndexSize,
+		"epoch":          snap.Epoch(),
+		"clock":          snap.Clock(),
+		"snapshot_paths": snap.Len(),
 		"shards":         s.src.Shards(),
 		"uptime_seconds": int(time.Since(s.started).Seconds()),
 		"wal_enabled":    s.dur != nil,
+		"replica":        s.fol != nil,
+	}
+	if s.fol != nil {
+		rs := s.fol.Replication()
+		resp["replication_primary"] = rs.Primary
+		resp["replication_connected"] = rs.Connected
+		resp["replication_applied_lsn"] = rs.AppliedLSN
+		resp["replication_applied_epoch"] = rs.AppliedEpoch
+		resp["replication_applied_clock"] = rs.AppliedClock
+		resp["replication_primary_lsn"] = rs.PrimaryLSN
+		resp["replication_primary_epoch"] = rs.PrimaryEpoch
+		resp["replication_lag_records"] = rs.LagRecords
+		resp["replication_lag_epochs"] = rs.LagEpochs
+		resp["replication_reconnects"] = rs.Reconnects
+		resp["replication_bootstraps"] = rs.Bootstraps
+		resp["replication_last_error"] = rs.LastError
 	}
 	if s.dur != nil {
 		ws := s.dur.WAL()
@@ -439,6 +527,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 // checkpoint and truncate WAL segments it covers. 409 when the daemon
 // runs without -wal.
 func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	if s.dur == nil {
 		httpError(w, http.StatusConflict, errors.New("durability is disabled; start the daemon with -wal"))
 		return
@@ -454,7 +545,9 @@ func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 // handleHealthz reports liveness — and, with -wal, writability: once the
 // journal is poisoned by an I/O failure every write is failing, so
 // answering 200 would keep load balancers routing ingest at a daemon
-// that can only refuse it.
+// that can only refuse it. In -follow mode it reports replication health
+// instead: a follower that lost its primary, or whose record lag exceeds
+// -max-lag, serves stale answers and must be rotated out of read pools.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.dur != nil {
 		if err := s.dur.Err(); err != nil {
@@ -465,7 +558,44 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if s.fol != nil {
+		rs := s.fol.Replication()
+		degraded := ""
+		switch {
+		case !rs.Connected:
+			degraded = "replication stream disconnected"
+			if rs.LastError != "" {
+				degraded += ": " + rs.LastError
+			}
+		case s.maxLag > 0 && rs.LagRecords > s.maxLag:
+			degraded = fmt.Sprintf("replication lag %d records exceeds the %d threshold", rs.LagRecords, s.maxLag)
+		}
+		if degraded != "" {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"status":                  "degraded",
+				"error":                   degraded,
+				"replication_lag_records": rs.LagRecords,
+				"replication_lag_epochs":  rs.LagEpochs,
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":                  "ok",
+			"replication_lag_records": rs.LagRecords,
+			"replication_lag_epochs":  rs.LagEpochs,
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// handleReconnect serves POST /admin/reconnect on followers: drop the
+// replication stream and resume from the applied LSN — the operational
+// lever after a primary failover behind a stable URL, and what the e2e
+// test uses to force a mid-run reconnect.
+func (s *server) handleReconnect(w http.ResponseWriter, r *http.Request) {
+	s.fol.Reconnect()
+	writeJSON(w, http.StatusOK, map[string]any{"reconnecting": true})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -37,7 +37,7 @@ func newTestHandler(t *testing.T) http.Handler {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { eng.Close() })
-	return newServer(eng, nil).handler()
+	return newServer(eng, serverOpts{}).handler()
 }
 
 // newDurableHandler backs the server with a Durable engine journaling
@@ -55,7 +55,7 @@ func newDurableHandler(t *testing.T) (http.Handler, string) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { dur.Close() })
-	return newServer(dur, dur).handler(), dir
+	return newServer(dur, serverOpts{dur: dur}).handler(), dir
 }
 
 func do(t *testing.T, h http.Handler, method, path string, body any) *httptest.ResponseRecorder {
@@ -645,7 +645,7 @@ func TestHealthzReportsPoisonedWAL(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { dur.Close() }) // returns the poisoning error; irrelevant here
-	h := newServer(dur, dur).handler()
+	h := newServer(dur, serverOpts{dur: dur}).handler()
 
 	if rec := do(t, h, http.MethodGet, "/healthz", nil); rec.Code != http.StatusOK {
 		t.Fatalf("healthy daemon: healthz = %d", rec.Code)

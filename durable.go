@@ -104,6 +104,11 @@ type WALStats struct {
 // Durability is group-committed: an acknowledged write is on disk no
 // later than FsyncInterval after it returned. Call Sync for a hard
 // barrier.
+//
+// Because replay is deterministic, the journal doubles as a replication
+// log: hotpathsd ships it to read-only followers over HTTP, and
+// OpenFollower replays it into a live replica whose query results are
+// byte-identical to this deployment's at every shared epoch boundary.
 type Durable struct {
 	cfg DurableConfig
 	dir string
@@ -572,6 +577,23 @@ func (d *Durable) checkpointLocked() error {
 	d.lastCkptClock = int64(st.Clock)
 	d.ckptCount++
 	return nil
+}
+
+// NextLSN returns the LSN the next journaled record will get — the
+// length of the acknowledged observation stream so far. It is the
+// primary-side position replication heartbeats advertise, and is cheap
+// (no directory walk, unlike WAL).
+func (d *Durable) NextLSN() uint64 {
+	return d.log.NextLSN()
+}
+
+// Clock returns the deployment's current clock: the timestamp of the
+// last applied Tick (or the recovered clock right after open). Cheap —
+// no snapshot is taken.
+func (d *Durable) Clock() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.clock
 }
 
 // Err reports the durability layer's poisoned state: the first journal

@@ -240,6 +240,7 @@ func convertStats(es engine.Stats) Stats {
 		Observations: es.Observations,
 		Reports:      es.Reports,
 		Responses:    es.Responses,
+		Epochs:       es.Coordinator.Epochs,
 		PathsCreated: es.Coordinator.PathsCreated,
 		PathsExpired: es.Coordinator.PathsExpired,
 		Crossings:    es.Coordinator.Crossings,

@@ -116,6 +116,34 @@
 // arbitrary byte offsets. The cmd/hotpathsd daemon exposes this as
 // -wal/-fsync flags plus a POST /admin/checkpoint endpoint.
 //
+// # Replication: OpenFollower and the read-only Source
+//
+// Determinism makes the journal a replication log too. A process built
+// on OpenDurable becomes a replication primary by mounting
+// NewReplicationFeed on its HTTP mux (hotpathsd does this with -wal),
+// and OpenFollower turns that feed into a live read-only replica: it
+// bootstraps from the primary's newest checkpoint, tails the WAL stream,
+// applies it to a local Engine, and reconnects with resume-from-LSN on
+// its own. At every shared epoch boundary the follower's
+// Snapshot().Query(q) is byte-identical to the primary's, so /topk-style
+// read traffic scales horizontally across replicas.
+//
+// A Follower implements Source, but only the read half of it. The
+// contract every Source consumer should know:
+//
+//   - Observe, ObserveNoisy, ObserveBatch, Tick — always return
+//     ErrReadOnly (check with errors.Is); writes belong on the primary.
+//   - Snapshot, Subscribe, Stats, Config, Shards — work normally,
+//     answered locally with no primary round-trip.
+//
+// Replication is asynchronous — reads lag the primary by roughly the
+// group-commit flush interval plus one poll — and Follower.Replication
+// reports the applied/primary LSN, epoch positions and lag. The
+// cmd/hotpathsd daemon exposes the whole topology as -follow (write
+// endpoints answer 403, /stats grows replication_* fields, /healthz
+// degrades past -max-lag); see the README's "Replication & read
+// scaling" section for topology and failover notes.
+//
 // The full distributed simulation used by the paper's evaluation (road
 // network, moving-object workload, DP baseline, figure sweeps) lives in the
 // internal packages and is driven by the cmd/ tools and the benchmark
@@ -201,6 +229,7 @@ type Stats struct {
 	Observations int // measurements fed via Observe/ObserveNoisy
 	Reports      int // state messages the filters raised
 	Responses    int // endpoints handed back at epoch boundaries
+	Epochs       int // epoch boundaries processed (the subscription/replication epoch sequence)
 	PathsCreated int
 	PathsExpired int
 	Crossings    int
@@ -477,6 +506,7 @@ func (s *System) WriteGeoJSON(w io.Writer) error {
 func (s *System) Stats() Stats {
 	cs := s.coord.Stats()
 	out := s.stats
+	out.Epochs = cs.Epochs
 	out.PathsCreated = cs.PathsCreated
 	out.PathsExpired = cs.PathsExpired
 	out.Crossings = cs.Crossings

@@ -1,0 +1,252 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// TruncatedError reports that a Tailer's position has been truncated away:
+// the records at From were deleted by a checkpoint (TruncateBefore) or a
+// reset (ResetTo) before the tailer read them. The reader cannot resume
+// from the log alone; it must bootstrap from a checkpoint at or past
+// Oldest and re-attach from there.
+type TruncatedError struct {
+	From   uint64 // the LSN the tailer needed
+	Oldest uint64 // the oldest LSN still on disk (0 when no segments survive)
+}
+
+func (e *TruncatedError) Error() string {
+	return fmt.Sprintf("wal: records from LSN %d truncated; oldest surviving LSN is %d", e.From, e.Oldest)
+}
+
+// Tailer is a streaming reader over a log directory: sealed segments first,
+// then the live tail as the writer appends to it. It is the replication
+// feed behind the primary's /wal/stream endpoint and the `hotpaths
+// -wal-tail` debugging command.
+//
+// A Tailer never takes the writer's lock — it reads the segment files the
+// same way recovery does, trusting the frame CRCs — so it may run in the
+// writing process, in another process, or long after the writer exited.
+// The torn-tail rules carry over: an undecodable tail in the NEWEST
+// segment is data the writer has not finished flushing yet (ReadBatch
+// reports "caught up" and the caller polls again), while an undecodable
+// tail in a sealed segment is real corruption and surfaces as an error.
+// Records the writer truncated away from under the tailer surface as
+// *TruncatedError.
+//
+// A Tailer is not safe for concurrent use; each consumer follows with its
+// own.
+type Tailer struct {
+	dir string
+	pos uint64 // next LSN to emit
+
+	f        *os.File // open segment, nil between segments
+	segStart uint64   // first LSN of the open segment
+	next     uint64   // LSN of the first frame at off
+	off      int64    // byte offset of the next unparsed byte's frame run
+	buf      []byte   // carry-over bytes read but not yet decoded
+	scratch  []byte
+}
+
+// Follow positions a new Tailer at LSN from. The position is validated
+// lazily by the first ReadBatch, so Follow works on directories that do
+// not exist yet.
+func Follow(dir string, from uint64) *Tailer {
+	return &Tailer{dir: dir, pos: from}
+}
+
+// Pos returns the LSN the next emitted record will have.
+func (t *Tailer) Pos() uint64 { return t.pos }
+
+// Close releases the open segment handle, if any. The Tailer stays usable;
+// the next ReadBatch reopens at its position.
+func (t *Tailer) Close() error {
+	if t.f == nil {
+		return nil
+	}
+	err := t.f.Close()
+	t.f = nil
+	t.buf = nil
+	return err
+}
+
+// ReadBatch reads the complete frames available at the tailer's position,
+// up to roughly maxBytes of frame data (<= 0 selects a default), and
+// returns them raw — exactly the bytes on disk, re-checksummed — along
+// with the LSN of the first frame and the frame count. n == 0 with a nil
+// error means the tailer is caught up with the writer; the caller polls
+// again after its interval. The returned slice is valid until the next
+// ReadBatch.
+func (t *Tailer) ReadBatch(maxBytes int) (frames []byte, first uint64, n int, err error) {
+	if maxBytes <= 0 {
+		maxBytes = 1 << 20
+	}
+	first = t.pos
+	var out []byte
+	for len(out) < maxBytes {
+		if t.f == nil {
+			ok, err := t.locate()
+			if err != nil {
+				return out, first, n, err
+			}
+			if !ok {
+				return out, first, n, nil // nothing on disk yet
+			}
+		}
+		// Top the carry-over buffer up from the file.
+		if cap(t.scratch) == 0 {
+			t.scratch = make([]byte, 256<<10)
+		}
+		read, rerr := t.f.ReadAt(t.scratch[:cap(t.scratch)], t.off+int64(len(t.buf)))
+		if read > 0 {
+			t.buf = append(t.buf, t.scratch[:read]...)
+		}
+		if rerr != nil && !errors.Is(rerr, io.EOF) {
+			return out, first, n, fmt.Errorf("wal: follow %s: %w", segName(t.segStart), rerr)
+		}
+		// Decode as many complete frames as the buffer holds.
+		used := 0
+		for {
+			_, consumed, derr := DecodeRecord(t.buf[used:])
+			if derr != nil {
+				break
+			}
+			if t.next >= t.pos {
+				out = append(out, t.buf[used:used+consumed]...)
+				n++
+				t.pos++
+			}
+			t.next++
+			used += consumed
+		}
+		if used > 0 {
+			t.off += int64(used)
+			t.buf = append(t.buf[:0], t.buf[used:]...)
+			continue
+		}
+		if read > 0 {
+			continue // a frame may straddle the chunk boundary; keep reading
+		}
+		// No new bytes and no decodable frame: end of this segment as it
+		// stands. A sealed segment (one with a successor) must end exactly
+		// on a frame boundary; leftover bytes there are corruption, and a
+		// clean boundary moves the tailer to the successor. On the newest
+		// segment the leftover is the writer's unflushed tail — caught up.
+		starts, lerr := segments(t.dir)
+		if lerr != nil {
+			return out, first, n, lerr
+		}
+		// The open segment may have been deleted under us (TruncateBefore
+		// racing a slow tailer, or ResetTo wiping the directory). Its
+		// remaining records are gone; report the truncation with the
+		// resume point instead of misreading the successor as corruption.
+		if !contains(starts, t.segStart) {
+			t.f.Close()
+			t.f = nil
+			if len(starts) > 0 && t.pos >= starts[0] {
+				// Truncation only removes a prefix, so the surviving
+				// segments still cover our position; relocate and go on.
+				continue
+			}
+			te := &TruncatedError{From: t.pos}
+			if len(starts) > 0 {
+				te.Oldest = starts[0]
+			}
+			return out, first, n, te
+		}
+		nextSeg, sealed := successor(starts, t.segStart)
+		if !sealed {
+			return out, first, n, nil // live tail; poll again later
+		}
+		// The segment may have been sealed between our read and the
+		// listing, with its final frames flushed in that window. One more
+		// read settles it — sealed segments never grow again.
+		read, rerr = t.f.ReadAt(t.scratch[:cap(t.scratch)], t.off+int64(len(t.buf)))
+		if read > 0 {
+			t.buf = append(t.buf, t.scratch[:read]...)
+			continue
+		}
+		if rerr != nil && !errors.Is(rerr, io.EOF) {
+			return out, first, n, fmt.Errorf("wal: follow %s: %w", segName(t.segStart), rerr)
+		}
+		if len(t.buf) > 0 {
+			return out, first, n, fmt.Errorf("wal: segment %s is corrupt at byte %d (not the last segment)",
+				filepath.Join(t.dir, segName(t.segStart)), t.off)
+		}
+		if t.next != nextSeg {
+			return out, first, n, fmt.Errorf("wal: segment %s ends at LSN %d but next segment starts at LSN %d",
+				segName(t.segStart), t.next, nextSeg)
+		}
+		t.f.Close()
+		t.f = nil
+	}
+	return out, first, n, nil
+}
+
+// locate opens the segment containing t.pos and fast-forwards past the
+// frames below it. It returns false (and no error) when the directory has
+// no segments yet and the tailer waits at LSN 0.
+func (t *Tailer) locate() (bool, error) {
+	starts, err := segments(t.dir)
+	if err != nil {
+		if os.IsNotExist(err) && t.pos == 0 {
+			return false, nil
+		}
+		return false, err
+	}
+	if len(starts) == 0 {
+		if t.pos == 0 {
+			return false, nil
+		}
+		// pos > 0 with an empty directory: everything the tailer wanted is
+		// gone (e.g. the directory was rebuilt).
+		return false, &TruncatedError{From: t.pos}
+	}
+	if starts[0] > t.pos {
+		return false, &TruncatedError{From: t.pos, Oldest: starts[0]}
+	}
+	seg := starts[0]
+	for _, s := range starts {
+		if s <= t.pos {
+			seg = s
+		}
+	}
+	f, err := os.Open(filepath.Join(t.dir, segName(seg)))
+	if err != nil {
+		if os.IsNotExist(err) {
+			// Deleted between the listing and the open (a truncation racing
+			// us); re-resolve on the next call.
+			return false, &TruncatedError{From: t.pos, Oldest: seg}
+		}
+		return false, err
+	}
+	t.f = f
+	t.segStart = seg
+	t.next = seg
+	t.off = 0
+	t.buf = t.buf[:0]
+	return true, nil
+}
+
+func contains(starts []uint64, s uint64) bool {
+	for _, v := range starts {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// successor returns the start LSN of the segment following segStart, and
+// whether one exists (i.e. segStart is sealed).
+func successor(starts []uint64, segStart uint64) (uint64, bool) {
+	for _, s := range starts {
+		if s > segStart {
+			return s, true
+		}
+	}
+	return 0, false
+}

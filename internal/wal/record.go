@@ -59,11 +59,20 @@ const (
 	KindObserve Kind = 1
 	// KindTick journals one Tick call.
 	KindTick Kind = 2
+	// KindHeartbeat is a replication control frame: it never appears in a
+	// journal on disk, but the log-shipping stream interleaves heartbeats
+	// with the data records so a follower learns the primary's position
+	// (NextLSN/Epoch/T) even while no records flow. Heartbeats share the
+	// record framing so one decoder reads the whole stream; repliers must
+	// skip them when applying (they carry no state change and no LSN).
+	KindHeartbeat Kind = 3
 )
 
-// Record is one journaled engine input. KindObserve uses every field
-// (SigmaX/SigmaY zero for exact measurements); KindTick uses only T (the
-// clock passed to Tick).
+// Record is one journaled engine input, or a replication control frame.
+// KindObserve uses ObjectID/T/X/Y/SigmaX/SigmaY (sigmas zero for exact
+// measurements); KindTick uses only T (the clock passed to Tick);
+// KindHeartbeat uses NextLSN, Epoch and T (the primary's log position,
+// epoch sequence and clock).
 type Record struct {
 	Kind     Kind
 	ObjectID int64
@@ -71,13 +80,18 @@ type Record struct {
 	X, Y     float64
 	SigmaX   float64
 	SigmaY   float64
+
+	// NextLSN and Epoch are meaningful only on KindHeartbeat frames.
+	NextLSN uint64
+	Epoch   int64
 }
 
 const (
 	frameHeader = 8 // uint32 length + uint32 crc
 
-	observePayload = 1 + 6*8
-	tickPayload    = 1 + 8
+	observePayload   = 1 + 6*8
+	tickPayload      = 1 + 8
+	heartbeatPayload = 1 + 3*8
 
 	// MaxPayload bounds the length field a decoder will trust, so corrupt
 	// input cannot trigger huge allocations or over-reads.
@@ -107,6 +121,12 @@ func AppendRecord(dst []byte, r Record) ([]byte, error) {
 		payload[0] = byte(KindTick)
 		binary.LittleEndian.PutUint64(payload[1:], uint64(r.T))
 		n = tickPayload
+	case KindHeartbeat:
+		payload[0] = byte(KindHeartbeat)
+		binary.LittleEndian.PutUint64(payload[1:], r.NextLSN)
+		binary.LittleEndian.PutUint64(payload[9:], uint64(r.Epoch))
+		binary.LittleEndian.PutUint64(payload[17:], uint64(r.T))
+		n = heartbeatPayload
 	default:
 		return dst, fmt.Errorf("wal: unknown record kind %d", r.Kind)
 	}
@@ -156,6 +176,16 @@ func DecodeRecord(b []byte) (Record, int, error) {
 			return Record{}, 0, fmt.Errorf("wal: tick payload is %d bytes, want %d", len(payload), tickPayload)
 		}
 		r = Record{Kind: KindTick, T: int64(binary.LittleEndian.Uint64(payload[1:]))}
+	case KindHeartbeat:
+		if len(payload) != heartbeatPayload {
+			return Record{}, 0, fmt.Errorf("wal: heartbeat payload is %d bytes, want %d", len(payload), heartbeatPayload)
+		}
+		r = Record{
+			Kind:    KindHeartbeat,
+			NextLSN: binary.LittleEndian.Uint64(payload[1:]),
+			Epoch:   int64(binary.LittleEndian.Uint64(payload[9:])),
+			T:       int64(binary.LittleEndian.Uint64(payload[17:])),
+		}
 	default:
 		return Record{}, 0, fmt.Errorf("wal: unknown record kind %d", payload[0])
 	}

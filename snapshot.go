@@ -9,14 +9,19 @@ import (
 	"hotpaths/internal/motion"
 )
 
-// Source is the common surface of the package's two deployments: the
-// single-goroutine System and the concurrent sharded Engine. Callers that
-// ingest a stream and read results back — replay tools, network frontends,
-// tests — can be written once against Source and handed either.
+// Source is the common surface of the package's deployments: the
+// single-goroutine System, the concurrent sharded Engine, the journaled
+// Durable, and the replicated Follower. Callers that ingest a stream and
+// read results back — replay tools, network frontends, tests — can be
+// written once against Source and handed any of them.
 //
 // The concurrency contract stays per-implementation: System must be driven
 // from one goroutine; Engine accepts concurrent Observes. Snapshot is the
-// read side — an immutable view the caller can query freely.
+// read side — an immutable view the caller can query freely. A Follower
+// implements only the read half: its write methods (Observe, Tick and the
+// Observe variants) always return ErrReadOnly, because its state is
+// replicated from a primary's journal — test with errors.Is rather than
+// assuming every Source accepts writes.
 type Source interface {
 	// Observe feeds one location measurement for objectID at timestamp t.
 	Observe(objectID int, x, y float64, t int64) error

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hotpaths/internal/bench"
+)
+
+// runBench implements the `hotpaths bench` subcommand: run the core
+// benchmark suite, write the trajectory point, and — when a baseline
+// exists — gate on regressions. Exit status 0 means the point was
+// written and no bench regressed past -max-regress; 1 is a regression;
+// 2 is a usage or runtime error.
+//
+//	hotpaths bench [-out BENCH_core.json] [-baseline BENCH_core.json]
+//	               [-max-regress 0.25] [-run name,name] [-list] [-q]
+func runBench(args []string) int {
+	fs := flag.NewFlagSet("hotpaths bench", flag.ExitOnError)
+	var (
+		out        = fs.String("out", "BENCH_core.json", "file to write the bench report to (empty: stdout only)")
+		baseline   = fs.String("baseline", "", "baseline report to diff against (missing file: comparison skipped)")
+		maxRegress = fs.Float64("max-regress", 0.25, "fail when ns/op grows by more than this fraction over baseline")
+		run        = fs.String("run", "", "comma-separated subset of benches to run (default: all)")
+		list       = fs.Bool("list", false, "list bench names and exit")
+		quiet      = fs.Bool("q", false, "suppress per-bench progress on stderr")
+	)
+	fs.Parse(args)
+
+	if *list {
+		for _, name := range bench.Names() {
+			fmt.Println(name)
+		}
+		return 0
+	}
+
+	var filter []string
+	if *run != "" {
+		filter = strings.Split(*run, ",")
+	}
+	rep, err := bench.Run(filter, !*quiet)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hotpaths bench:", err)
+		return 2
+	}
+
+	if *out != "" {
+		if err := rep.WriteFile(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "hotpaths bench:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d benches to %s\n", len(rep.Points), *out)
+	}
+
+	if *baseline != "" {
+		base, err := bench.Load(*baseline)
+		switch {
+		case os.IsNotExist(err):
+			fmt.Fprintf(os.Stderr, "no baseline at %s; comparison skipped\n", *baseline)
+		case err != nil:
+			fmt.Fprintln(os.Stderr, "hotpaths bench:", err)
+			return 2
+		default:
+			regressions, notes := bench.Compare(base, rep, *maxRegress)
+			for _, n := range notes {
+				fmt.Fprintln(os.Stderr, "note:", n)
+			}
+			if len(regressions) > 0 {
+				for _, r := range regressions {
+					fmt.Fprintln(os.Stderr, "REGRESSION:", r)
+				}
+				return 1
+			}
+			fmt.Fprintf(os.Stderr, "no regressions vs %s (limit +%.0f%%)\n",
+				*baseline, *maxRegress*100)
+		}
+	}
+	return 0
+}

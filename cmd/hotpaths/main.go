@@ -41,6 +41,14 @@
 //
 //	hotpaths -wal-tail DIR
 //	hotpaths -wal-tail http://primary:8080 [-from 1000]
+//
+// `hotpaths bench` runs the core benchmark suite (internal/bench) —
+// ingest, WAL append, recovery, follower replay, snapshot queries — and
+// writes one bench-trajectory point as JSON, optionally gating on a
+// checked-in baseline:
+//
+//	hotpaths bench [-out BENCH_core.json] [-baseline BENCH_core.json]
+//	               [-max-regress 0.25] [-run name,...] [-list] [-q]
 package main
 
 import (
@@ -69,6 +77,11 @@ import (
 )
 
 func main() {
+	// The bench subcommand has its own FlagSet; dispatch before the
+	// simulation flags are parsed.
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		os.Exit(runBench(os.Args[2:]))
+	}
 	var (
 		n         = flag.Int("n", 20000, "number of moving objects")
 		eps       = flag.Float64("eps", 10, "tolerance epsilon, metres")

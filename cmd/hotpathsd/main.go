@@ -6,7 +6,7 @@
 //	hotpathsd [-addr :8080] [-eps 10] [-delta 0] [-w 100] [-epoch 10]
 //	          [-k 10] [-shards 0] [-buffer 256] [-grid 64]
 //	          [-bounds 0,0,16000,16000] [-snapshot paths.geojson]
-//	          [-wal DIR] [-fsync 25ms]
+//	          [-wal DIR] [-fsync 25ms] [-pprof localhost:6060]
 //	hotpathsd -follow http://primary:8080 [-addr :8081] [-shards 0]
 //	          [-buffer 256] [-max-lag 100000]
 //
@@ -18,6 +18,9 @@
 //	GET  /paths             every live path as JSON
 //	GET  /paths.geojson     live paths as a GeoJSON FeatureCollection
 //	GET  /stats             ingestion, coordinator, WAL and replication counters
+//	GET  /metrics           Prometheus text exposition: latency histograms and
+//	                        counters for every layer (see the README's
+//	                        Observability section for the metric families)
 //	GET  /watch             Server-Sent Events: one result delta per epoch
 //	POST /admin/checkpoint  force a checkpoint + WAL truncation (-wal only)
 //	GET  /healthz           liveness probe; 503 once WAL I/O has failed
@@ -26,6 +29,11 @@
 //	GET  /wal/checkpoint    -wal only: newest checkpoint blob for follower bootstrap
 //	GET  /wal/stream        -wal only: live WAL frame stream from ?from=LSN
 //	POST /admin/reconnect   -follow only: drop and re-establish the stream
+//
+// With -pprof ADDR a second, admin-only listener serves net/http/pprof
+// under /debug/pprof/ plus another /metrics mount. Profiling endpoints
+// never appear on the public port; bind the admin listener to localhost
+// or a management network.
 //
 // With -wal DIR the daemon journals every observation and tick to a
 // write-ahead log before applying it, checkpoints the full engine state
@@ -114,6 +122,7 @@ func run() int {
 		segBytes = flag.Int64("wal-segment", 0, "WAL segment rotation size in bytes (with -wal; 0 = 64 MiB default)")
 		follow   = flag.String("follow", "", "primary base URL: run as a read-only replica of that hotpathsd (e.g. http://primary:8080)")
 		maxLag   = flag.Uint64("max-lag", 100_000, "with -follow: /healthz degrades once the follower lags this many records behind the primary (0 disables)")
+		pprof    = flag.String("pprof", "", "admin listen address (e.g. localhost:6060) serving net/http/pprof and /metrics; empty disables it")
 	)
 	flag.Parse()
 
@@ -196,8 +205,29 @@ func run() int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// The admin mux carries profiling and metrics on its own listener so
+	// pprof is never reachable through the public port. Its failure is
+	// fatal: an operator who asked for profiling and silently did not get
+	// it would debug the wrong thing.
+	var admin *http.Server
+	if *pprof != "" {
+		admin = &http.Server{
+			Addr:              *pprof,
+			Handler:           adminHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
+	if admin != nil {
+		go func() {
+			if err := admin.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				errc <- fmt.Errorf("admin listener: %w", err)
+			}
+		}()
+		logf("admin (pprof + metrics) on %s", *pprof)
+	}
 	// Log the resolved config, not the flags: a follower adopts the
 	// primary's journal parameters and ignores the local pipeline flags.
 	rcfg := src.Config()
@@ -221,6 +251,11 @@ func run() int {
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
 		logf("http shutdown: %v", err)
+	}
+	if admin != nil {
+		if err := admin.Shutdown(shutCtx); err != nil {
+			logf("admin shutdown: %v", err)
+		}
 	}
 	if err := drain(); err != nil {
 		logf("drain: %v", err)

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"hotpaths"
+	"hotpaths/internal/metrics"
 )
 
 // backend is the ingestion and query surface the server drives: the bare
@@ -22,6 +23,7 @@ type backend interface {
 	Tick(now int64) error
 	Snapshot() hotpaths.Snapshot
 	Stats() hotpaths.Stats
+	Clock() int64
 	Subscribe(q hotpaths.Query) (*hotpaths.Subscription, error)
 	Config() hotpaths.Config
 	Shards() int
@@ -129,23 +131,27 @@ func (s *server) snapshot() hotpaths.Snapshot {
 func (s *server) invalidate() { s.gen.Add(1) }
 
 func (s *server) handler() http.Handler {
+	// Every route is wrapped at registration (an outer middleware cannot
+	// see which ServeMux pattern matched), so each handler's histogram and
+	// status counters are bound to its route label up front.
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /observe", s.handleObserve)
-	mux.HandleFunc("POST /tick", s.handleTick)
-	mux.HandleFunc("GET /topk", s.handleTopK)
-	mux.HandleFunc("GET /paths", s.handlePaths)
-	mux.HandleFunc("GET /paths.geojson", s.handleGeoJSON)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /watch", s.handleWatch)
-	mux.HandleFunc("POST /admin/checkpoint", s.handleCheckpoint)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /observe", instrument("/observe", s.handleObserve))
+	mux.HandleFunc("POST /tick", instrument("/tick", s.handleTick))
+	mux.HandleFunc("GET /topk", instrument("/topk", s.handleTopK))
+	mux.HandleFunc("GET /paths", instrument("/paths", s.handlePaths))
+	mux.HandleFunc("GET /paths.geojson", instrument("/paths.geojson", s.handleGeoJSON))
+	mux.HandleFunc("GET /stats", instrument("/stats", s.handleStats))
+	mux.HandleFunc("GET /watch", instrument("/watch", s.handleWatch))
+	mux.HandleFunc("POST /admin/checkpoint", instrument("/admin/checkpoint", s.handleCheckpoint))
+	mux.HandleFunc("GET /healthz", instrument("/healthz", s.handleHealthz))
+	mux.Handle("GET /metrics", instrument("/metrics", metrics.Handler().ServeHTTP))
 	if s.repl != nil {
 		// The primary-side replication feed: followers bootstrap from the
 		// checkpoint and tail the WAL as a long-lived frame stream.
-		mux.Handle("/wal/", s.repl)
+		mux.Handle("/wal/", instrument("/wal/", s.repl.ServeHTTP))
 	}
 	if s.fol != nil {
-		mux.HandleFunc("POST /admin/reconnect", s.handleReconnect)
+		mux.HandleFunc("POST /admin/reconnect", instrument("/admin/reconnect", s.handleReconnect))
 	}
 	return mux
 }
@@ -469,9 +475,9 @@ func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.src.Stats()
-	// One consistent snapshot answers the epoch/clock/path-count trio —
-	// the fields follower-lag monitoring lines up against the primary's.
-	snap := s.snapshot()
+	// Counters only: the epoch/clock/path-count trio comes from the
+	// backend's incrementally-tracked accessors (Stats and Clock), never
+	// from Snapshot — a monitoring scrape must not copy the path table.
 	resp := map[string]any{
 		"observations":   st.Observations,
 		"reports":        st.Reports,
@@ -480,9 +486,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"paths_expired":  st.PathsExpired,
 		"crossings":      st.Crossings,
 		"index_size":     st.IndexSize,
-		"epoch":          snap.Epoch(),
-		"clock":          snap.Clock(),
-		"snapshot_paths": snap.Len(),
+		"epoch":          st.Epochs,
+		"clock":          s.src.Clock(),
+		"snapshot_paths": st.IndexSize,
 		"shards":         s.src.Shards(),
 		"uptime_seconds": int(time.Since(s.started).Seconds()),
 		"wal_enabled":    s.dur != nil,

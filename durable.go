@@ -549,6 +549,7 @@ func (d *Durable) Checkpoint() (uint64, error) {
 // checkpointLocked: commit the journal, dump the state, write the
 // checkpoint durably, then drop segments the checkpoint covers.
 func (d *Durable) checkpointLocked() error {
+	t0 := time.Now()
 	if err := d.log.Sync(); err != nil {
 		return fmt.Errorf("hotpaths: checkpoint sync: %w", err)
 	}
@@ -576,6 +577,8 @@ func (d *Durable) checkpointLocked() error {
 	d.lastCkptLSN = lsn
 	d.lastCkptClock = int64(st.Clock)
 	d.ckptCount++
+	mCheckpoint.ObserveSince(t0)
+	mCheckpointBytes.Observe(float64(len(payload)))
 	return nil
 }
 

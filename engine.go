@@ -235,6 +235,12 @@ func (e *Engine) Stats() Stats {
 	return convertStats(e.eng.Stats())
 }
 
+// Clock returns the timestamp of the last Tick. Unlike Snapshot().Clock()
+// it copies no paths, so monitoring probes can call it at any rate.
+func (e *Engine) Clock() int64 {
+	return int64(e.eng.Clock())
+}
+
 func convertStats(es engine.Stats) Stats {
 	return Stats{
 		Observations: es.Observations,

@@ -1,7 +1,6 @@
 package hotpaths
 
 import (
-	"math/rand"
 	"reflect"
 	"sync"
 	"testing"
@@ -15,33 +14,6 @@ func engineTestConfig() Config {
 		K:      10,
 		Bounds: Rect{Min: Pt(-3000, -3000), Max: Pt(4000, 4000)},
 	}
-}
-
-// engineWorkload builds a deterministic multi-object workload: seeded
-// random walks with occasional sharp turns, so filters report and the
-// coordinator exercises all three SinglePath cases.
-func engineWorkload(nObjects int, horizon, seed int64) [][]Observation {
-	rng := rand.New(rand.NewSource(seed))
-	type state struct{ x, y, dx, dy float64 }
-	objs := make([]state, nObjects)
-	for i := range objs {
-		objs[i] = state{x: float64(i%16) * 40, y: float64(i/16) * 40, dx: 6}
-	}
-	out := make([][]Observation, 0, horizon)
-	for t := int64(1); t <= horizon; t++ {
-		batch := make([]Observation, 0, nObjects)
-		for i := range objs {
-			o := &objs[i]
-			if rng.Float64() < 0.15 {
-				o.dx, o.dy = rng.Float64()*12-6, rng.Float64()*12-6
-			}
-			o.x += o.dx + rng.Float64() - 0.5
-			o.y += o.dy + rng.Float64() - 0.5
-			batch = append(batch, Observation{ObjectID: i, X: o.x, Y: o.y, T: t})
-		}
-		out = append(out, batch)
-	}
-	return out
 }
 
 // The sharded Engine must be indistinguishable from the single-threaded
@@ -60,7 +32,7 @@ func TestEngineMatchesSystem(t *testing.T) {
 	defer eng.Close()
 
 	const horizon = 120 // multiple of Epoch, so final counters are exact
-	for _, batch := range engineWorkload(48, horizon, 42) {
+	for _, batch := range IngestWorkload(48, horizon, 42) {
 		for _, o := range batch {
 			if err := sys.Observe(o.ObjectID, o.X, o.Y, o.T); err != nil {
 				t.Fatal(err)
@@ -120,7 +92,7 @@ func TestEngineConcurrentIngest(t *testing.T) {
 	}
 	defer eng.Close()
 
-	batches := engineWorkload(nObjects, horizon, 7)
+	batches := IngestWorkload(nObjects, horizon, 7)
 	stop := make(chan struct{})
 	var readers sync.WaitGroup
 	readers.Add(1)
@@ -192,7 +164,7 @@ func TestSparseTicksCrossEpochBoundaries(t *testing.T) {
 
 	// No tick ever lands on a multiple of 10.
 	ticks := map[int64]int64{13: 0, 27: 0, 41: 0, 55: 0, 69: 0, 83: 0, 97: 0, 111: 0}
-	for _, batch := range engineWorkload(48, 120, 42) {
+	for _, batch := range IngestWorkload(48, 120, 42) {
 		for _, o := range batch {
 			if err := sys.Observe(o.ObjectID, o.X, o.Y, o.T); err != nil {
 				t.Fatal(err)

@@ -502,6 +502,11 @@ func (s *System) WriteGeoJSON(w io.Writer) error {
 	return s.Snapshot().WriteGeoJSON(w)
 }
 
+// Clock returns the timestamp of the last Tick — cheap (no snapshot),
+// for monitoring probes. Like every System method it must be called from
+// the goroutine driving the System.
+func (s *System) Clock() int64 { return s.lastNow }
+
 // Stats returns the system's counters.
 func (s *System) Stats() Stats {
 	cs := s.coord.Stats()

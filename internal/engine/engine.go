@@ -43,6 +43,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hotpaths/internal/coordinator"
 	"hotpaths/internal/geom"
@@ -184,6 +185,7 @@ func (e *Engine) Observe(o Observation) error {
 	}
 	one := obs{Observation: o, seq: e.seq.Add(1) - 1}
 	e.shards[e.shardIndex(o.ObjectID)].ch <- msg{one: one, hasOne: true}
+	mObservations.Inc()
 	return nil
 }
 
@@ -197,6 +199,7 @@ func (e *Engine) ObserveBatch(batch []Observation) error {
 	if len(batch) == 0 {
 		return nil
 	}
+	t0 := time.Now()
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
@@ -214,6 +217,8 @@ func (e *Engine) ObserveBatch(batch []Observation) error {
 			e.shards[si].ch <- msg{obs: g}
 		}
 	}
+	mObservations.Add(uint64(len(batch)))
+	mObserveBatch.ObserveSince(t0)
 	return nil
 }
 
@@ -263,7 +268,18 @@ func (e *Engine) tick(now trajectory.Time) (err error, view *epochView) {
 	if now/e.cfg.Epoch == prev/e.cfg.Epoch {
 		return nil, nil
 	}
+	tEpoch := time.Now()
+	depth := 0
+	for _, s := range e.shards {
+		depth += len(s.ch)
+	}
+	mQueueDepth.Set(int64(depth))
 	e.drainLocked()
+	mBarrier.ObserveSince(tEpoch)
+	defer func() {
+		mEpochs.Inc()
+		mTick.ObserveSince(tEpoch)
+	}()
 
 	// Collect this epoch's shard reports and restore arrival order.
 	// Shard errors (e.g. one object's non-increasing timestamps) are
@@ -377,6 +393,14 @@ func (e *Engine) Score(k int) float64 {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.coord.Score(k)
+}
+
+// Clock returns the timestamp of the last Tick — cheap (no snapshot, no
+// path copies), for monitoring probes.
+func (e *Engine) Clock() trajectory.Time {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.lastNow
 }
 
 // Stats returns the engine's counters.

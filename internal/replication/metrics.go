@@ -1,0 +1,15 @@
+package replication
+
+import "hotpaths/internal/metrics"
+
+// Primary-side stream instrumentation: what the replication feed ships to
+// followers. The follower side (lag, reconnects, bootstraps) is measured
+// where the applier lives, in the hotpaths package.
+var (
+	mStreamBytes = metrics.Default.Counter("hotpaths_replication_stream_bytes_total",
+		"WAL frame bytes written to follower streams (heartbeats included).", nil)
+	mStreamRecords = metrics.Default.Counter("hotpaths_replication_stream_records_total",
+		"WAL records shipped to follower streams.", nil)
+	mStreams = metrics.Default.Gauge("hotpaths_replication_streams",
+		"Follower streams currently connected.", nil)
+)

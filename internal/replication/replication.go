@@ -202,6 +202,8 @@ func (s *Server) ServeStream(w http.ResponseWriter, r *http.Request) {
 	h.Set("Cache-Control", "no-cache")
 	h.Set(HeaderFromLSN, strconv.FormatUint(from, 10))
 	w.WriteHeader(http.StatusOK)
+	mStreams.Add(1)
+	defer mStreams.Add(-1)
 
 	hb := time.NewTicker(s.heartbeat())
 	defer hb.Stop()
@@ -220,6 +222,8 @@ func (s *Server) ServeStream(w http.ResponseWriter, r *http.Request) {
 			if _, err := w.Write(frames); err != nil {
 				return
 			}
+			mStreamBytes.Add(uint64(len(frames)))
+			mStreamRecords.Add(uint64(n))
 			if err := s.writeHeartbeat(w); err != nil {
 				return
 			}
@@ -280,6 +284,9 @@ func (s *Server) writeHeartbeat(w io.Writer) error {
 		return err
 	}
 	_, err = w.Write(frame)
+	if err == nil {
+		mStreamBytes.Add(uint64(len(frame)))
+	}
 	return err
 }
 

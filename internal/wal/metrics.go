@@ -1,0 +1,22 @@
+package wal
+
+import "hotpaths/internal/metrics"
+
+// Instrumentation for the write-ahead log. Appends are timed at the public
+// entry points (one clock read per call, not per record); fsync latency is
+// measured around the actual File.Sync in group commits and rotations.
+var (
+	mAppend = metrics.Default.Histogram("hotpaths_wal_append_seconds",
+		"Latency of Append/AppendBatch calls (encode plus buffered write).",
+		metrics.LatencyBuckets, nil)
+	mFsync = metrics.Default.Histogram("hotpaths_wal_fsync_seconds",
+		"Latency of segment fsyncs (group commits and rotations).",
+		metrics.LatencyBuckets, nil)
+	mCommitBatch = metrics.Default.Histogram("hotpaths_wal_commit_batch_records",
+		"Records made durable per commit batch (group-commit coalescing).",
+		metrics.SizeBuckets, nil)
+	mRotations = metrics.Default.Counter("hotpaths_wal_rotations_total",
+		"Segment rotations.", nil)
+	mRecords = metrics.Default.Counter("hotpaths_wal_records_total",
+		"Records appended to the log.", nil)
+)

@@ -74,6 +74,7 @@ type Log struct {
 	dirty    bool // buffered or written bytes not yet fsynced
 	closed   bool
 	scratch  []byte
+	pending  uint64 // records appended since the last commit
 
 	stats   Stats
 	stop    chan struct{}
@@ -307,9 +308,13 @@ func (l *Log) syncLocked() error {
 	if err := l.w.Flush(); err != nil {
 		return err
 	}
+	t0 := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
+	mFsync.ObserveSince(t0)
+	mCommitBatch.Observe(float64(l.pending))
+	l.pending = 0
 	l.dirty = false
 	l.stats.Syncs++
 	return nil
@@ -320,9 +325,14 @@ func (l *Log) syncLocked() error {
 // group commit (or Sync). The returned LSN identifies the record's
 // position in the stream.
 func (l *Log) Append(r Record) (uint64, error) {
+	t0 := time.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.appendLocked(r)
+	lsn, err := l.appendLocked(r)
+	if err == nil {
+		mAppend.ObserveSince(t0)
+	}
+	return lsn, err
 }
 
 // AppendBatch journals records under one lock acquisition — the fast
@@ -331,6 +341,7 @@ func (l *Log) Append(r Record) (uint64, error) {
 // batch can never be silently followed by more records. It returns the
 // LSN of the first record.
 func (l *Log) AppendBatch(recs []Record) (uint64, error) {
+	t0 := time.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	first := l.nextLSN
@@ -339,6 +350,7 @@ func (l *Log) AppendBatch(recs []Record) (uint64, error) {
 			return first, err
 		}
 	}
+	mAppend.ObserveSince(t0)
 	return first, nil
 }
 
@@ -365,6 +377,8 @@ func (l *Log) appendLocked(r Record) (uint64, error) {
 	lsn := l.nextLSN
 	l.nextLSN++
 	l.stats.Records++
+	l.pending++
+	mRecords.Inc()
 	return lsn, nil
 }
 
@@ -401,14 +415,19 @@ func (l *Log) rotateLocked() error {
 	if err := l.w.Flush(); err != nil {
 		return err
 	}
+	t0 := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
+	mFsync.ObserveSince(t0)
+	mCommitBatch.Observe(float64(l.pending))
+	l.pending = 0
 	l.dirty = false
 	l.stats.Syncs++
 	if err := l.f.Close(); err != nil {
 		return err
 	}
+	mRotations.Inc()
 	return l.openSegmentLocked(l.nextLSN)
 }
 

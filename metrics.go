@@ -1,0 +1,40 @@
+package hotpaths
+
+import "hotpaths/internal/metrics"
+
+// Instrumentation owned by the public package: durability checkpoints, the
+// subscription hub, and the follower side of replication. The instruments
+// live in the process-global metrics.Default registry (see internal/metrics)
+// and are shared across instances: a process running several deployments
+// aggregates them, exactly like Prometheus' default registerer.
+var (
+	mCheckpoint = metrics.Default.Histogram("hotpaths_checkpoint_seconds",
+		"Duration of full-state checkpoints (sync, dump, write, truncate).",
+		metrics.LatencyBuckets, nil)
+	mCheckpointBytes = metrics.Default.Histogram("hotpaths_checkpoint_bytes",
+		"Encoded checkpoint payload size in bytes.",
+		metrics.ExpBuckets(1024, 4, 12), nil)
+
+	mSubscribers = metrics.Default.Gauge("hotpaths_subscribers",
+		"Live epoch-delta subscriptions.", nil)
+	mDeltas = metrics.Default.Counter("hotpaths_subscription_deltas_total",
+		"Epoch deltas delivered to subscribers.", nil)
+	mSlowResets = metrics.Default.Counter("hotpaths_subscription_resets_total",
+		"Slow-consumer resets (subscriber buffer overflowed; stream restarts from a snapshot).",
+		nil)
+	mSlowMissed = metrics.Default.Counter("hotpaths_subscription_missed_total",
+		"Deltas dropped by slow-consumer resets.", nil)
+
+	mFollowerLag = metrics.Default.Gauge("hotpaths_follower_lag_records",
+		"Records the primary has journaled but this follower has not applied (last heartbeat).",
+		nil)
+	mFollowerConnected = metrics.Default.Gauge("hotpaths_follower_connected",
+		"1 while the follower's stream to the primary is live, else 0.", nil)
+	mFollowerApplied = metrics.Default.Counter("hotpaths_follower_applied_total",
+		"WAL records applied by followers in this process.", nil)
+	mFollowerReconnects = metrics.Default.Counter("hotpaths_follower_reconnects_total",
+		"Stream reconnect attempts by followers in this process.", nil)
+	mFollowerBootstrap = metrics.Default.Histogram("hotpaths_follower_bootstrap_seconds",
+		"Duration of follower bootstraps (checkpoint fetch plus restore).",
+		metrics.LatencyBuckets, nil)
+)

@@ -201,6 +201,7 @@ func OpenFollower(primary string, cfg FollowerConfig) (*Follower, error) {
 // local state first: keeping it and retrying the same invalid LSN would
 // loop forever serving diverged answers.
 func (f *Follower) bootstrap(ctx context.Context) error {
+	t0 := time.Now()
 	lsn, payload, err := f.client.Checkpoint(ctx)
 	if errors.Is(err, replication.ErrNoCheckpoint) {
 		f.mu.Lock()
@@ -217,6 +218,7 @@ func (f *Follower) bootstrap(ctx context.Context) error {
 		f.bootstraps++
 		f.mu.Unlock()
 		f.gen.Add(1)
+		mFollowerBootstrap.ObserveSince(t0)
 		return nil
 	}
 	if err != nil {
@@ -237,6 +239,7 @@ func (f *Follower) bootstrap(ctx context.Context) error {
 	f.bootstraps++
 	f.mu.Unlock()
 	f.gen.Add(1)
+	mFollowerBootstrap.ObserveSince(t0)
 	return nil
 }
 
@@ -253,8 +256,10 @@ func (f *Follower) run(ctx context.Context) {
 		}
 		f.mu.Lock()
 		f.connected = false
+		mFollowerConnected.Set(0)
 		if hadConnection {
 			f.reconnects++
+			mFollowerReconnects.Inc()
 			backoff = f.cfg.ReconnectMin
 		}
 		if err != nil && !errors.Is(err, context.Canceled) {
@@ -347,6 +352,7 @@ func (f *Follower) streamOnce(ctx context.Context) (hadConnection bool, err erro
 		f.mu.Lock()
 		f.applied += uint64(len(batch))
 		f.mu.Unlock()
+		mFollowerApplied.Add(uint64(len(batch)))
 		batch = batch[:0]
 		f.gen.Add(1)
 	}
@@ -379,6 +385,7 @@ func (f *Follower) streamOnce(ctx context.Context) (hadConnection bool, err erro
 					f.clock = rec.T
 				}
 				f.mu.Unlock()
+				mFollowerApplied.Inc()
 				f.gen.Add(1)
 			default:
 				// A record kind this build does not know: it cannot apply
@@ -395,7 +402,13 @@ func (f *Follower) streamOnce(ctx context.Context) (hadConnection bool, err erro
 			f.hb = st
 			f.hbSeen = true
 			f.connected = true
+			lag := int64(0)
+			if st.NextLSN > f.applied {
+				lag = int64(st.NextLSN - f.applied)
+			}
 			f.mu.Unlock()
+			mFollowerConnected.Set(1)
+			mFollowerLag.Set(lag)
 			hadConnection = true
 		})
 	flush() // records received before the drop are valid; keep them
@@ -434,6 +447,14 @@ func (f *Follower) Subscribe(q Query) (*Subscription, error) { return f.eng.Subs
 
 // Stats returns the replicated deployment's counters.
 func (f *Follower) Stats() Stats { return f.eng.Stats() }
+
+// Clock returns the timestamp of the last applied Tick — cheap (no
+// snapshot), for monitoring probes.
+func (f *Follower) Clock() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.clock
+}
 
 // Config returns the primary's journal configuration, which the follower
 // replays under (defaults applied).
@@ -543,6 +564,7 @@ func (f *Follower) Close() error {
 	f.mu.Unlock()
 	f.cancel()
 	<-f.done
+	mFollowerConnected.Set(0)
 	return f.eng.Close()
 }
 

@@ -23,7 +23,7 @@ func feedBoth(t *testing.T, cfg Config, nObjects int, horizon, seed int64) (*Sys
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { eng.Close() })
-	for _, batch := range engineWorkload(nObjects, horizon, seed) {
+	for _, batch := range IngestWorkload(nObjects, horizon, seed) {
 		for _, o := range batch {
 			if err := sys.Observe(o.ObjectID, o.X, o.Y, o.T); err != nil {
 				t.Fatal(err)
@@ -97,7 +97,7 @@ func TestRegionMatchesBruteForce(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, batch := range engineWorkload(48, 100, seed) {
+		for _, batch := range IngestWorkload(48, 100, seed) {
 			for _, o := range batch {
 				if err := sys.Observe(o.ObjectID, o.X, o.Y, o.T); err != nil {
 					t.Fatal(err)
@@ -194,7 +194,7 @@ func TestSnapshotImmuneToLaterIngestion(t *testing.T) {
 	}
 	defer eng.Close()
 
-	batches := engineWorkload(48, 200, 5)
+	batches := IngestWorkload(48, 200, 5)
 	for _, batch := range batches[:100] {
 		if err := eng.ObserveBatch(batch); err != nil {
 			t.Fatal(err)

@@ -176,6 +176,7 @@ func (s *Subscription) Close() {
 		return // already closed, by us or by the source shutting down
 	}
 	delete(h.subs, s.id)
+	mSubscribers.Add(-1)
 	close(s.ch)
 }
 
@@ -234,6 +235,7 @@ func (h *hub) subscribe(q Query, snapshot func() Snapshot) (*Subscription, error
 	}
 	h.nextID++
 	h.subs[sub.id] = sub
+	mSubscribers.Add(1)
 	h.reseedLocked(sub, snap, cur)
 	h.mu.Unlock()
 
@@ -299,6 +301,7 @@ func (h *hub) closeAll() {
 	h.closed = true
 	for id, sub := range h.subs {
 		delete(h.subs, id)
+		mSubscribers.Add(-1)
 		close(sub.ch)
 	}
 }
@@ -318,6 +321,7 @@ func (h *hub) closeAll() {
 func (s *Subscription) deliverLocked(d Delta) {
 	select {
 	case s.ch <- d:
+		mDeltas.Inc()
 		return
 	default:
 	}
@@ -346,6 +350,9 @@ func (s *Subscription) deliverLocked(d Delta) {
 	// The buffer was just drained and we are the only sender, so this
 	// cannot block (consumers only ever remove).
 	s.ch <- reset
+	mDeltas.Inc()
+	mSlowResets.Inc()
+	mSlowMissed.Add(uint64(dropped))
 }
 
 // diffResults computes the delta between two materialised results of the

@@ -1,0 +1,254 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hotpaths"
+	"hotpaths/internal/gateway"
+	"hotpaths/internal/partition"
+)
+
+// The gateway golden test: a 4-partition fleet behind a hotpathsgw
+// gateway must answer every read byte-identically to a single engine fed
+// the same interleaved workload, at every shared epoch — including the
+// /watch delta stream. Content-addressed path ids and the canonical
+// result order are what make this possible; the test is what holds the
+// merge to them.
+
+const goldenPartitions = 4
+
+// partitionObjects returns the first n object ids owned by partition p
+// of count, scanning ids upward from 1. The workload assigns each lane's
+// objects to one partition so a lane's trajectory stays on one primary.
+func partitionObjects(p, count, n int) []int {
+	var out []int
+	for id := 1; len(out) < n; id++ {
+		if partition.Index(id, count) == p {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// goldenFleet builds the 4 partition daemons (ordinary engine-backed
+// servers declaring their slots), a gateway over them, and the single
+// reference engine. Everything is torn down via t.Cleanup.
+func goldenFleet(t *testing.T) (gw, ref *httptest.Server) {
+	t.Helper()
+	urls := make([]string, goldenPartitions)
+	for i := 0; i < goldenPartitions; i++ {
+		eng, err := hotpaths.NewEngine(hotpaths.EngineConfig{
+			Config: serverTestConfig(),
+			Shards: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { eng.Close() })
+		srv := httptest.NewServer(newServer(eng, serverOpts{
+			partitionID: i, partitionCount: goldenPartitions,
+		}).handler())
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	g, err := gateway.New(gateway.Config{
+		Table:         partition.NewTable(urls...),
+		K:             serverTestConfig().K,
+		ProbeInterval: -1, // probed once in New; the test needs no poller
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	gw = httptest.NewServer(g.Handler())
+	t.Cleanup(gw.Close)
+
+	refEng, err := hotpaths.NewEngine(hotpaths.EngineConfig{
+		Config: serverTestConfig(),
+		Shards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { refEng.Close() })
+	ref = httptest.NewServer(newServer(refEng, serverOpts{}).handler())
+	t.Cleanup(ref.Close)
+	return gw, ref
+}
+
+// goldenBatch builds the observation batch for one timestamp: 8 spatially
+// disjoint lanes (separation 200 ≫ 2ε, so lanes never interact), lane l
+// at y = 200·l driven by two objects owned by partition l mod 4, zigging
+// like feedZigZag so corridors form and expire.
+func goldenBatch(lanes [][]int, now int64) []observationJSON {
+	var batch []observationJSON
+	for l, objs := range lanes {
+		base := float64(200 * l)
+		x := float64(now) * 6
+		y := base
+		if (now/5)%2 == 0 {
+			y = base + 40
+		}
+		batch = append(batch,
+			observationJSON{Object: objs[0], X: x, Y: y, T: now},
+			observationJSON{Object: objs[1], X: x, Y: y + 0.5, T: now},
+		)
+	}
+	return batch
+}
+
+// goldenQueries is the read surface the fleet must answer identically:
+// the three endpoints across the parameter space (defaults, k/limit,
+// min_hotness, bbox, sort, combinations).
+var goldenQueries = []string{
+	"/topk",
+	"/paths",
+	"/paths.geojson",
+	"/topk?sort=score",
+	"/topk?k=3",
+	"/paths?limit=5",
+	"/paths?min_hotness=2",
+	"/paths?bbox=0,0,400,450",
+	"/topk?bbox=0,0,400,450&sort=score&k=4",
+	"/paths.geojson?limit=3&sort=score",
+	"/paths?min_hotness=1&sort=score",
+}
+
+func fetchGolden(t *testing.T, base, path string) (status int, epoch, body string) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	return resp.StatusCode, resp.Header.Get(hotpaths.EpochHeader), string(b)
+}
+
+// readSSEEvent reads one blank-line-terminated SSE event block.
+func readSSEEvent(rd *bufio.Reader) (string, error) {
+	var b strings.Builder
+	for {
+		line, err := rd.ReadString('\n')
+		if err != nil {
+			return "", err
+		}
+		if line == "\n" {
+			return b.String(), nil
+		}
+		b.WriteString(line)
+	}
+}
+
+func TestGatewayMatchesSingleNode(t *testing.T) {
+	gw, ref := goldenFleet(t)
+
+	lanes := make([][]int, 8)
+	for l := range lanes {
+		lanes[l] = partitionObjects(l%goldenPartitions, goldenPartitions, 2)
+		// Distinct lanes sharing a partition must not share objects.
+		if l >= goldenPartitions {
+			lanes[l] = partitionObjects(l%goldenPartitions, goldenPartitions, 4)[2:4]
+		}
+	}
+
+	// Open the /watch streams before the first epoch so both sides
+	// baseline at epoch 0; headers returned means the subscription (and
+	// the gateway's partition fan-in) is established.
+	watchStreams := make(map[string][2]*bufio.Reader)
+	for _, wq := range []string{"/watch", "/watch?bbox=0,0,400,450&k=5"} {
+		var readers [2]*bufio.Reader
+		for i, base := range []string{gw.URL, ref.URL} {
+			resp, err := http.Get(base + wq)
+			if err != nil {
+				t.Fatalf("GET %s: %v", wq, err)
+			}
+			t.Cleanup(func() { resp.Body.Close() })
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET %s: status %d", wq, resp.StatusCode)
+			}
+			readers[i] = bufio.NewReader(resp.Body)
+		}
+		watchStreams[wq] = readers
+	}
+
+	const (
+		lastTick   = 60
+		epochEvery = 10 // serverTestConfig().Epoch
+	)
+	for now := int64(1); now <= lastTick; now++ {
+		req := observeRequest{Observations: goldenBatch(lanes, now), Tick: now}
+		for _, base := range []string{gw.URL, ref.URL} {
+			rec := postJSON(t, base+"/observe", req)
+			if rec != http.StatusOK {
+				t.Fatalf("observe t=%d against %s: status %d", now, base, rec)
+			}
+		}
+		if now%epochEvery != 0 {
+			continue
+		}
+		// Epoch boundary: every read must agree byte for byte, and the
+		// epoch header must advertise the same shared epoch.
+		for _, q := range goldenQueries {
+			gs, ge, gb := fetchGolden(t, gw.URL, q)
+			rs, re, rb := fetchGolden(t, ref.URL, q)
+			if gs != rs {
+				t.Fatalf("t=%d %s: gateway status %d, single node %d", now, q, gs, rs)
+			}
+			if ge != re {
+				t.Fatalf("t=%d %s: gateway epoch %q, single node %q", now, q, ge, re)
+			}
+			if gb != rb {
+				t.Fatalf("t=%d %s: bodies diverge\ngateway: %s\nsingle:  %s", now, q, gb, rb)
+			}
+		}
+	}
+
+	// The delta streams: baseline (epoch 0) plus one event per epoch,
+	// byte-identical including the SSE framing.
+	for wq, readers := range watchStreams {
+		for ev := 0; ev <= lastTick/epochEvery; ev++ {
+			g, err := readSSEEvent(readers[0])
+			if err != nil {
+				t.Fatalf("%s: gateway event %d: %v", wq, ev, err)
+			}
+			r, err := readSSEEvent(readers[1])
+			if err != nil {
+				t.Fatalf("%s: single-node event %d: %v", wq, ev, err)
+			}
+			if g != r {
+				t.Fatalf("%s: event %d diverges\ngateway: %q\nsingle:  %q", wq, ev, g, r)
+			}
+		}
+	}
+}
+
+// postJSON posts v to url and returns the status code.
+func postJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Logf("POST %s: %d %s", url, resp.StatusCode, b)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode
+}

@@ -42,6 +42,14 @@
 // interval of acknowledged writes. See the README's "Durability &
 // operations" section for the on-disk layout and recovery procedure.
 //
+// With -partition-count N -partition-id I the daemon declares itself
+// partition I of an N-primary fleet fronted by a hotpathsgw gateway: the
+// partition slot is advertised in /stats (partition_id/partition_count),
+// and observations whose object id hashes to a different partition are
+// rejected with 400 — a misconfigured router fails loudly instead of
+// silently forking state across primaries. See the README's "Horizontal
+// write scaling" section.
+//
 // A -wal daemon is also a replication primary: it serves its journal to
 // followers over /wal/stream. With -follow URL the daemon is instead a
 // read-only follower of that primary — it bootstraps from the primary's
@@ -123,8 +131,20 @@ func run() int {
 		follow   = flag.String("follow", "", "primary base URL: run as a read-only replica of that hotpathsd (e.g. http://primary:8080)")
 		maxLag   = flag.Uint64("max-lag", 100_000, "with -follow: /healthz degrades once the follower lags this many records behind the primary (0 disables)")
 		pprof    = flag.String("pprof", "", "admin listen address (e.g. localhost:6060) serving net/http/pprof and /metrics; empty disables it")
+		partID   = flag.Int("partition-id", 0, "with -partition-count: this daemon's partition slot (0-based)")
+		partN    = flag.Int("partition-count", 0, "run as partition -partition-id of this many primaries behind a hotpathsgw gateway; 0 = unpartitioned")
 	)
 	flag.Parse()
+
+	if *partN < 0 {
+		return fail(errors.New("-partition-count must be non-negative"))
+	}
+	if *partN == 0 && *partID != 0 {
+		return fail(errors.New("-partition-id requires -partition-count"))
+	}
+	if *partN > 0 && (*partID < 0 || *partID >= *partN) {
+		return fail(fmt.Errorf("-partition-id %d out of range for -partition-count %d", *partID, *partN))
+	}
 
 	rect, err := parseBounds(*bounds)
 	if err != nil {
@@ -192,7 +212,10 @@ func run() int {
 		src, drain = eng, eng.Close
 	}
 
-	api := newServer(src, serverOpts{dur: dur, fol: fol, maxLag: *maxLag})
+	api := newServer(src, serverOpts{
+		dur: dur, fol: fol, maxLag: *maxLag,
+		partitionID: *partID, partitionCount: *partN,
+	})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           api.handler(),

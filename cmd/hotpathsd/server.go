@@ -13,6 +13,7 @@ import (
 
 	"hotpaths"
 	"hotpaths/internal/metrics"
+	"hotpaths/internal/partition"
 )
 
 // backend is the ingestion and query surface the server drives: the bare
@@ -36,6 +37,14 @@ type serverOpts struct {
 	dur    *hotpaths.Durable // -wal: durability + the primary-side replication feed
 	fol    *hotpaths.Follower
 	maxLag uint64 // -max-lag: /healthz degrades past this record lag (0 = never)
+
+	// partitionID/partitionCount declare this daemon's slot in a
+	// partitioned fleet (-partition-id/-partition-count). Zero count means
+	// unpartitioned; with a positive count the daemon advertises its slot
+	// in /stats and rejects observations whose object id hashes to a
+	// different partition — a loud failure beats silently forked state.
+	partitionID    int
+	partitionCount int
 }
 
 // server wires the backend to the HTTP surface. Ingestion state lives in
@@ -47,6 +56,8 @@ type server struct {
 	fol     *hotpaths.Follower
 	repl    http.Handler // the WAL feed, mounted when dur != nil
 	maxLag  uint64
+	partID  int
+	partN   int // 0 when unpartitioned
 	started time.Time
 
 	// gen counts writes (observe/tick). Readers reuse one cached snapshot
@@ -76,6 +87,8 @@ func newServer(src backend, opts serverOpts) *server {
 		dur:     opts.dur,
 		fol:     opts.fol,
 		maxLag:  opts.maxLag,
+		partID:  opts.partitionID,
+		partN:   opts.partitionCount,
 		started: time.Now(),
 		closing: make(chan struct{}),
 	}
@@ -171,15 +184,9 @@ func (s *server) rejectReadOnly(w http.ResponseWriter) bool {
 	return true
 }
 
-// observationJSON is the wire form of one measurement.
-type observationJSON struct {
-	Object int     `json:"object"`
-	X      float64 `json:"x"`
-	Y      float64 `json:"y"`
-	T      int64   `json:"t"`
-	SigmaX float64 `json:"sigma_x,omitempty"`
-	SigmaY float64 `json:"sigma_y,omitempty"`
-}
+// observationJSON is the wire form of one measurement — the library's
+// canonical encoding, shared with the gateway's router.
+type observationJSON = hotpaths.ObservationJSON
 
 // observeRequest is the POST /observe body. Tick, when positive, advances
 // the engine clock after the batch is ingested — the convenient form for a
@@ -225,11 +232,15 @@ func (s *server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	}
 	batch := make([]hotpaths.Observation, len(req.Observations))
 	for i, o := range req.Observations {
-		batch[i] = hotpaths.Observation{
-			ObjectID: o.Object,
-			X:        o.X, Y: o.Y, T: o.T,
-			SigmaX: o.SigmaX, SigmaY: o.SigmaY,
+		if s.partN > 0 {
+			if owner := partition.Index(o.Object, s.partN); owner != s.partID {
+				httpError(w, http.StatusBadRequest, fmt.Errorf(
+					"object %d belongs to partition %d of %d, not this daemon (partition %d); check the router's table",
+					o.Object, owner, s.partN, s.partID))
+				return
+			}
 		}
+		batch[i] = o.Observation()
 	}
 	if err := s.src.ObserveBatch(batch); err != nil {
 		httpError(w, s.writeErrStatus(), err)
@@ -332,6 +343,14 @@ func queryParams(r *http.Request, defaultK int) (hotpaths.Query, error) {
 	return q, nil
 }
 
+// epochHeaders stamps the answering snapshot's epoch and clock on the
+// response, so a scatter-gather reader can verify that every partition
+// answered at the same epoch before merging.
+func epochHeaders(w http.ResponseWriter, snap hotpaths.Snapshot) {
+	w.Header().Set(hotpaths.EpochHeader, strconv.FormatInt(snap.Epoch(), 10))
+	w.Header().Set(hotpaths.ClockHeader, strconv.FormatInt(snap.Clock(), 10))
+}
+
 // handleTopK serves GET /topk: the k hottest paths (k defaults to the
 // engine's Config.K), optionally restricted by bbox/min_hotness and
 // re-ranked by sort=score.
@@ -341,7 +360,9 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, hotpaths.PathsJSON(s.snapshot().Query(q)))
+	snap := s.snapshot()
+	epochHeaders(w, snap)
+	writeJSON(w, http.StatusOK, hotpaths.PathsJSON(snap.Query(q)))
 }
 
 // handlePaths serves GET /paths: every live path, with the same
@@ -352,7 +373,9 @@ func (s *server) handlePaths(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, hotpaths.PathsJSON(s.snapshot().Query(q)))
+	snap := s.snapshot()
+	epochHeaders(w, snap)
+	writeJSON(w, http.StatusOK, hotpaths.PathsJSON(snap.Query(q)))
 }
 
 // handleGeoJSON serves GET /paths.geojson, accepting the same bbox and
@@ -366,11 +389,13 @@ func (s *server) handleGeoJSON(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	snap := s.snapshot()
 	var buf bytes.Buffer
-	if err := hotpaths.WriteGeoJSON(&buf, s.snapshot().Query(q)); err != nil {
+	if err := hotpaths.WriteGeoJSON(&buf, snap.Query(q)); err != nil {
 		httpError(w, http.StatusInternalServerError, fmt.Errorf("encode geojson: %w", err))
 		return
 	}
+	epochHeaders(w, snap)
 	w.Header().Set("Content-Type", "application/geo+json")
 	if _, err := buf.WriteTo(w); err != nil {
 		// The client went away mid-response; nothing left to salvage.
@@ -493,6 +518,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"uptime_seconds": int(time.Since(s.started).Seconds()),
 		"wal_enabled":    s.dur != nil,
 		"replica":        s.fol != nil,
+		// Zero partition_count means unpartitioned (the default); the
+		// gateway's prober cross-checks both fields against its table.
+		"partition_id":    s.partID,
+		"partition_count": s.partN,
 	}
 	if s.fol != nil {
 		rs := s.fol.Replication()

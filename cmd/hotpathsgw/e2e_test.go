@@ -1,0 +1,375 @@
+//go:build gateway_e2e
+
+// The multi-process gateway golden test: four real partitioned hotpathsd
+// primaries behind a real hotpathsgw, compared against a single hotpathsd
+// fed the same workload, over real TCP. It is behind the gateway_e2e
+// build tag because it builds binaries and spawns processes — CI runs it
+// as its own step (see .github/workflows/ci.yml); locally:
+//
+//	go test -race -tags gateway_e2e -run TestGatewayE2E ./cmd/hotpathsgw
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"hotpaths"
+	"hotpaths/internal/partition"
+)
+
+const e2ePartitions = 4
+
+// buildBinary compiles one command (with -race, so the spawned processes
+// are themselves race-checked) into a temp dir.
+func buildBinary(t *testing.T, pkgDir, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-race", "-o", bin, pkgDir)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("build %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+type daemon struct {
+	t       *testing.T
+	name    string
+	bin     string
+	args    []string
+	addr    string
+	cmd     *exec.Cmd
+	base    string
+	logs    *bytes.Buffer
+	stopped bool
+}
+
+// startDaemon launches bin with a fresh ephemeral address and waits for
+// /healthz to answer (any status: the gateway legitimately reports 503
+// until its fleet is probed healthy).
+func startDaemon(t *testing.T, name, bin string, args ...string) *daemon {
+	t.Helper()
+	d := &daemon{t: t, name: name, bin: bin, args: args, addr: freeAddr(t)}
+	d.start()
+	t.Cleanup(func() { d.stop(syscall.SIGTERM) })
+	return d
+}
+
+func (d *daemon) start() {
+	d.t.Helper()
+	d.logs = &bytes.Buffer{}
+	d.cmd = exec.Command(d.bin, append([]string{"-addr", d.addr}, d.args...)...)
+	d.cmd.Stderr = d.logs
+	d.cmd.Stdout = d.logs
+	if err := d.cmd.Start(); err != nil {
+		d.t.Fatal(err)
+	}
+	d.base = "http://" + d.addr
+	d.stopped = false
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		resp, err := http.Get(d.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			return
+		}
+		if time.Now().After(deadline) {
+			d.t.Fatalf("%s at %s never became ready; logs:\n%s", d.name, d.base, d.logs)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func (d *daemon) stop(sig syscall.Signal) {
+	if d.cmd.Process == nil || d.stopped {
+		return
+	}
+	d.stopped = true
+	d.cmd.Process.Signal(sig)
+	done := make(chan struct{})
+	go func() { d.cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		d.cmd.Process.Kill()
+		<-done
+	}
+}
+
+func (d *daemon) get(path string) (int, http.Header, []byte) {
+	d.t.Helper()
+	resp, err := http.Get(d.base + path)
+	if err != nil {
+		d.t.Fatalf("%s: GET %s: %v; logs:\n%s", d.name, path, err, d.logs)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		d.t.Fatalf("%s: GET %s: read body: %v", d.name, path, err)
+	}
+	return resp.StatusCode, resp.Header, b
+}
+
+func (d *daemon) post(path string, body any) (int, []byte) {
+	d.t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			d.t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(d.base+path, "application/json", &buf)
+	if err != nil {
+		d.t.Fatalf("%s: POST %s: %v; logs:\n%s", d.name, path, err, d.logs)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, b
+}
+
+type observeReq struct {
+	Observations []hotpaths.ObservationJSON `json:"observations"`
+	Tick         int64                      `json:"tick,omitempty"`
+}
+
+// e2eLanes assigns each of 8 spatially disjoint lanes two objects owned
+// by partition lane mod 4, so every trajectory lives on one primary and
+// every primary owns traffic.
+func e2eLanes() [][]int {
+	lanes := make([][]int, 8)
+	next := make(map[int][]int)
+	for id := 1; len(next[0]) < 4 || len(next[1]) < 4 || len(next[2]) < 4 || len(next[3]) < 4; id++ {
+		p := partition.Index(id, e2ePartitions)
+		next[p] = append(next[p], id)
+	}
+	for l := range lanes {
+		p := l % e2ePartitions
+		lanes[l] = next[p][:2]
+		if l >= e2ePartitions {
+			lanes[l] = next[p][2:4]
+		}
+	}
+	return lanes
+}
+
+func e2eBatch(lanes [][]int, now int64) []hotpaths.ObservationJSON {
+	var batch []hotpaths.ObservationJSON
+	for l, objs := range lanes {
+		base := float64(200 * l)
+		x := float64(now) * 6
+		y := base
+		if (now/5)%2 == 0 {
+			y = base + 40
+		}
+		batch = append(batch,
+			hotpaths.ObservationJSON{Object: objs[0], X: x, Y: y, T: now},
+			hotpaths.ObservationJSON{Object: objs[1], X: x, Y: y + 0.5, T: now},
+		)
+	}
+	return batch
+}
+
+var e2eQueries = []string{
+	"/topk",
+	"/paths",
+	"/paths.geojson",
+	"/topk?sort=score&k=5",
+	"/paths?min_hotness=2",
+	"/paths?bbox=0,0,400,450&sort=score",
+}
+
+// TestGatewayE2E is the acceptance test for horizontal write scaling: a
+// 4-partition fleet of real hotpathsd -wal processes behind a real
+// hotpathsgw answers every query byte-identically to one hotpathsd fed
+// the same interleaved workload — across a partition outage (degraded
+// health, partial reads) and its WAL-backed recovery.
+func TestGatewayE2E(t *testing.T) {
+	hotpathsd := buildBinary(t, "../hotpathsd", "hotpathsd")
+	hotpathsgw := buildBinary(t, ".", "hotpathsgw")
+
+	pipeline := []string{"-eps", "5", "-w", "100", "-epoch", "10", "-k", "10",
+		"-bounds", "-100,-100,2000,2000"}
+	parts := make([]*daemon, e2ePartitions)
+	urls := make([]string, e2ePartitions)
+	for i := range parts {
+		args := append([]string{
+			"-wal", filepath.Join(t.TempDir(), "wal"),
+			"-fsync", "1ms",
+			"-partition-count", fmt.Sprint(e2ePartitions),
+			"-partition-id", fmt.Sprint(i),
+		}, pipeline...)
+		parts[i] = startDaemon(t, fmt.Sprintf("partition-%d", i), hotpathsd, args...)
+		urls[i] = parts[i].base
+	}
+	gw := startDaemon(t, "gateway", hotpathsgw,
+		"-partitions", strings.Join(urls, ","), "-k", "10", "-probe", "25ms")
+	ref := startDaemon(t, "reference", hotpathsd, pipeline...)
+
+	waitHealth := func(want int) {
+		t.Helper()
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			code, _, _ := gw.get("/healthz")
+			if code == want {
+				return
+			}
+			if time.Now().After(deadline) {
+				_, _, b := gw.get("/healthz")
+				t.Fatalf("gateway /healthz never reached %d: %s\nlogs:\n%s", want, b, gw.logs)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	waitHealth(http.StatusOK)
+
+	lanes := e2eLanes()
+	feed := func(tick int64) {
+		t.Helper()
+		req := observeReq{Observations: e2eBatch(lanes, tick), Tick: tick}
+		if code, b := gw.post("/observe", req); code != http.StatusOK {
+			t.Fatalf("gateway observe t=%d: %d %s\nlogs:\n%s", tick, code, b, gw.logs)
+		}
+		if code, b := ref.post("/observe", req); code != http.StatusOK {
+			t.Fatalf("reference observe t=%d: %d %s", tick, code, b)
+		}
+	}
+	compare := func(tick int64) {
+		t.Helper()
+		for _, q := range e2eQueries {
+			gc, gh, gb := gw.get(q)
+			rc, rh, rb := ref.get(q)
+			if gc != http.StatusOK || rc != http.StatusOK {
+				t.Fatalf("t=%d %s: gateway %d, reference %d (%s / %s)", tick, q, gc, rc, gb, rb)
+			}
+			if ge, re := gh.Get(hotpaths.EpochHeader), rh.Get(hotpaths.EpochHeader); ge != re {
+				t.Fatalf("t=%d %s: epoch header %q vs %q", tick, q, ge, re)
+			}
+			if !bytes.Equal(gb, rb) {
+				t.Fatalf("t=%d %s diverged:\ngateway:   %s\nreference: %s", tick, q, gb, rb)
+			}
+		}
+	}
+
+	var tick int64
+	for tick = 1; tick <= 40; tick++ {
+		feed(tick)
+		if tick%10 == 0 {
+			compare(tick)
+		}
+	}
+
+	// Outage: partition 2 goes away cleanly (its WAL holds every
+	// acknowledged record). Health must degrade and reads must turn
+	// partial — visibly, via the 206 + X-Hotpaths-Partial contract.
+	parts[2].stop(syscall.SIGTERM)
+	waitHealth(http.StatusServiceUnavailable)
+	if code, b := gw.post("/tick", map[string]any{"now": tick}); code != http.StatusServiceUnavailable {
+		t.Fatalf("tick with partition down: %d %s, want 503", code, b)
+	}
+	// The barrier tick reached the live partitions, so drive the
+	// reference across the same boundary before comparing anything else.
+	if code, b := ref.post("/tick", map[string]any{"now": tick}); code != http.StatusOK {
+		t.Fatalf("reference tick: %d %s", code, b)
+	}
+	tick++
+	code, h, _ := gw.get("/paths")
+	if code != http.StatusPartialContent {
+		t.Fatalf("paths with partition down: %d, want 206", code)
+	}
+	if got := h.Get(hotpaths.PartialHeader); got != "2" {
+		t.Fatalf("%s = %q, want \"2\"", hotpaths.PartialHeader, got)
+	}
+
+	// Recovery: the same WAL directory brings the partition's state back.
+	parts[2].start()
+	waitHealth(http.StatusOK)
+
+	// A /watch stream opened on the quiesced fleet must mirror the
+	// reference's stream from its baseline on.
+	gwWatch, err := http.Get(gw.base + "/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gwWatch.Body.Close()
+	refWatch, err := http.Get(ref.base + "/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer refWatch.Body.Close()
+	gwRd, refRd := bufio.NewReader(gwWatch.Body), bufio.NewReader(refWatch.Body)
+
+	for stop := tick + 30; tick <= stop; tick++ {
+		feed(tick)
+		if tick%10 == 0 {
+			compare(tick)
+		}
+	}
+
+	// Baseline plus the three epoch boundaries crossed while watching.
+	for ev := 0; ev < 4; ev++ {
+		g, err := readSSEEvent(gwRd)
+		if err != nil {
+			t.Fatalf("gateway watch event %d: %v\nlogs:\n%s", ev, err, gw.logs)
+		}
+		r, err := readSSEEvent(refRd)
+		if err != nil {
+			t.Fatalf("reference watch event %d: %v", ev, err)
+		}
+		if g != r {
+			t.Fatalf("watch event %d diverged:\ngateway:   %q\nreference: %q", ev, g, r)
+		}
+	}
+
+	// Misrouted writes die at the daemon, not in silent state forks: an
+	// observation sent directly to the wrong partition is rejected.
+	wrong := lanes[0][0] // owned by partition 0
+	if code, b := parts[1].post("/observe", observeReq{
+		Observations: []hotpaths.ObservationJSON{{Object: wrong, X: 1, Y: 1, T: tick}},
+	}); code != http.StatusBadRequest {
+		t.Fatalf("misrouted observe: %d %s, want 400", code, b)
+	}
+
+	// Graceful shutdown all around.
+	for _, d := range append(append([]*daemon{}, parts...), gw, ref) {
+		d.stop(syscall.SIGTERM)
+		if code := d.cmd.ProcessState.ExitCode(); code != 0 {
+			t.Errorf("%s exited %d; logs:\n%s", d.name, code, d.logs)
+		}
+	}
+}
+
+func readSSEEvent(rd *bufio.Reader) (string, error) {
+	var b strings.Builder
+	for {
+		line, err := rd.ReadString('\n')
+		if err != nil {
+			return "", err
+		}
+		if line == "\n" {
+			return b.String(), nil
+		}
+		b.WriteString(line)
+	}
+}

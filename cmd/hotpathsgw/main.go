@@ -1,0 +1,123 @@
+// Command hotpathsgw is the scatter-gather gateway for a partitioned
+// hotpathsd fleet: N independent -wal primaries, each owning the objects
+// that hash to its partition, behind one endpoint that speaks hotpathsd's
+// HTTP API.
+//
+// Usage:
+//
+//	hotpathsgw -partitions http://p0:8080,http://p1:8080,... [-addr :8090]
+//	           [-k 10] [-timeout 10s] [-probe 1s]
+//
+// Endpoints (hotpathsd's public surface, routed or merged):
+//
+//	POST /observe        split by owning partition and forwarded exactly once
+//	POST /observe_batch  alias of /observe
+//	POST /tick           epoch barrier: forwarded to every partition
+//	GET  /topk           merged top-k across the fleet at one shared epoch
+//	GET  /paths          merged live paths (same k/min_hotness/bbox/sort params)
+//	GET  /paths.geojson  merged paths as GeoJSON
+//	GET  /watch          merged SSE delta stream, one delta per shared epoch
+//	GET  /stats          fleet-wide counter sums + per-partition status
+//	GET  /healthz        503 while any partition is down, misdeclared or lagging
+//	GET  /metrics        gateway request/fan-out/merge instruments
+//
+// Partition slot i of the -partitions list must be the base URL of a
+// hotpathsd started with -partition-count N -partition-id i (the prober
+// cross-checks the daemons' declared slots and degrades /healthz on a
+// mismatch). All writes must flow through the gateway: routing is what
+// keeps each object's trajectory on a single primary, and the gateway
+// caches its merged read view between writes on that assumption. See the
+// README's "Horizontal write scaling" section for topology and failover.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"hotpaths/internal/gateway"
+	"hotpaths/internal/partition"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr    = flag.String("addr", ":8090", "listen address")
+		parts   = flag.String("partitions", "", "comma-separated partition base URLs, slot order (required); slot i must run hotpathsd -partition-count N -partition-id i")
+		k       = flag.Int("k", 10, "default top-k for /topk and /watch (mirrors hotpathsd -k)")
+		timeout = flag.Duration("timeout", 10*time.Second, "per-partition sub-request timeout")
+		probe   = flag.Duration("probe", time.Second, "partition health probe interval")
+	)
+	flag.Parse()
+
+	if *parts == "" {
+		return fail(errors.New("-partitions is required: a comma-separated list of partition base URLs"))
+	}
+	var urls []string
+	for _, u := range strings.Split(*parts, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	gw, err := gateway.New(gateway.Config{
+		Table:          partition.NewTable(urls...),
+		K:              *k,
+		RequestTimeout: *timeout,
+		ProbeInterval:  *probe,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	defer gw.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           gw.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logf("listening on %s, routing %d partitions (k=%d)", *addr, len(urls), *k)
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			return fail(err)
+		}
+	case <-ctx.Done():
+	}
+
+	logf("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	// Closing the gateway first ends open /watch fan-ins, which would
+	// otherwise pin Shutdown to its timeout.
+	gw.Close()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		logf("http shutdown: %v", err)
+		return 1
+	}
+	return 0
+}
+
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hotpathsgw: "+format+"\n", args...)
+}
+
+func fail(err error) int {
+	logf("%v", err)
+	return 1
+}

@@ -78,7 +78,7 @@ func cases() []benchCase {
 	batches := hotpaths.IngestWorkload(nObjects, horizon, seed)
 	ingested := nObjects * horizon
 
-	return []benchCase{
+	cs := []benchCase{
 		{"system_ingest", ingested, func(b *testing.B) error {
 			for i := 0; i < b.N; i++ {
 				sys, err := hotpaths.New(config())
@@ -231,6 +231,7 @@ func cases() []benchCase {
 			return nil
 		}},
 	}
+	return append(cs, gatewayCases()...)
 }
 
 func recoverCase(batches [][]hotpaths.Observation, ckptEvery int64) func(b *testing.B) error {

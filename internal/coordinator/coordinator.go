@@ -19,9 +19,9 @@
 //	         Rm region). This vertex is also offered as an extra candidate
 //	         in Case 2, so objects converge on shared vertices.
 //
-// New paths are inserted with a fresh id; every selection records a
-// crossing with the report's [ts,te] interval, scheduled to expire from the
-// sliding window at te+W.
+// New paths are inserted under their content-addressed id (see
+// motion.PathIDFor); every selection records a crossing with the report's
+// [ts,te] interval, scheduled to expire from the sliding window at te+W.
 package coordinator
 
 import (
@@ -76,12 +76,11 @@ type Stats struct {
 
 // Coordinator holds the MotionPath index and runs SinglePath.
 type Coordinator struct {
-	cfg    Config
-	grid   *gridindex.Grid
-	hot    *hotness.Window
-	paths  map[motion.PathID]motion.Path
-	nextID motion.PathID
-	stats  Stats
+	cfg   Config
+	grid  *gridindex.Grid
+	hot   *hotness.Window
+	paths map[motion.PathID]motion.Path
+	stats Stats
 }
 
 // New validates cfg and builds a coordinator.
@@ -371,10 +370,12 @@ func (c *Coordinator) findPath(s, e geom.Point) (motion.PathID, bool) {
 	return id, found
 }
 
-// insertPath stores a new motion path and indexes its end vertex.
+// insertPath stores a new motion path under its content-addressed id and
+// indexes its end vertex. The id depends only on the geometry, so a path
+// that expires and is re-discovered — or is discovered independently by
+// another partition of a split deployment — comes back under the same id.
 func (c *Coordinator) insertPath(s, e geom.Point) motion.PathID {
-	id := c.nextID
-	c.nextID++
+	id := motion.PathIDFor(s, e)
 	c.paths[id] = motion.Path{ID: id, S: s, E: e}
 	c.grid.Insert(gridindex.Entry{ID: id, End: e, Start: s})
 	c.stats.PathsCreated++

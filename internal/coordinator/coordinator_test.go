@@ -220,11 +220,12 @@ func TestAdvanceExpiresPaths(t *testing.T) {
 	if c.Stats().PathsExpired != 1 {
 		t.Errorf("stats = %+v", c.Stats())
 	}
-	// Expired vertex is gone from the grid: a new identical report creates
-	// a brand-new path.
+	// Expired vertex is gone from the grid, so a new identical report
+	// re-discovers the path from scratch (Case 3) — and, because ids are
+	// content-addressed, the re-discovered path carries the SAME id.
 	resp2, _ := c.ProcessEpoch([]Report{report(2, geom.Pt(50, 50), fsa, 120, 130)})
-	if resp2[0].PathID == id {
-		t.Error("expired id must not be reused")
+	if resp2[0].PathID != id {
+		t.Errorf("re-discovered identical geometry got id %d, want the content-addressed %d", resp2[0].PathID, id)
 	}
 	if resp2[0].Case != 3 {
 		t.Errorf("case = %d want 3 after expiry", resp2[0].Case)

@@ -10,13 +10,16 @@ import (
 )
 
 // State is the coordinator's complete mutable state, exported for
-// checkpointing: the stored paths, the id allocator, the counters and the
-// hotness window's pending crossings. Restoring it into a coordinator
-// built with the same Config yields bit-identical future behaviour — the
-// grid index is derived from the paths, and the crossing list carries the
-// window's heap layout verbatim.
+// checkpointing: the stored paths, the counters and the hotness window's
+// pending crossings. Restoring it into a coordinator built with the same
+// Config yields bit-identical future behaviour — the grid index is
+// derived from the paths, and the crossing list carries the window's heap
+// layout verbatim.
 type State struct {
-	Paths     []motion.Path // sorted by id, for a canonical encoding
+	Paths []motion.Path // sorted by id, for a canonical encoding
+	// NextID is vestigial: ids are content-addressed (motion.PathIDFor),
+	// so there is no allocator to checkpoint. The field stays so old gob
+	// checkpoints decode; its value is ignored on restore.
 	NextID    motion.PathID
 	Stats     Stats
 	Crossings []hotness.Crossing // the window's pending events, heap order
@@ -31,7 +34,6 @@ func (c *Coordinator) DumpState() State {
 	sort.Slice(paths, func(i, j int) bool { return paths[i].ID < paths[j].ID })
 	return State{
 		Paths:     paths,
-		NextID:    c.nextID,
 		Stats:     c.stats,
 		Crossings: c.hot.Dump(),
 	}
@@ -51,9 +53,6 @@ func (c *Coordinator) RestoreState(st State) error {
 	}
 	paths := make(map[motion.PathID]motion.Path, len(st.Paths))
 	for _, p := range st.Paths {
-		if p.ID >= st.NextID {
-			return fmt.Errorf("coordinator: restored path id %d is not below NextID %d", p.ID, st.NextID)
-		}
 		if _, dup := paths[p.ID]; dup {
 			return fmt.Errorf("coordinator: restored path id %d is duplicated", p.ID)
 		}
@@ -68,7 +67,6 @@ func (c *Coordinator) RestoreState(st State) error {
 	c.paths = paths
 	c.grid = grid
 	c.hot = hot
-	c.nextID = st.NextID
 	c.stats = st.Stats
 	return nil
 }

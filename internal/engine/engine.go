@@ -48,6 +48,7 @@ import (
 	"hotpaths/internal/coordinator"
 	"hotpaths/internal/geom"
 	"hotpaths/internal/motion"
+	"hotpaths/internal/partition"
 	"hotpaths/internal/raytrace"
 	"hotpaths/internal/trajectory"
 )
@@ -164,14 +165,13 @@ func New(cfg Config) (*Engine, error) {
 // Shards returns the shard count.
 func (e *Engine) Shards() int { return len(e.shards) }
 
-// shardIndex hashes an object id to its shard (64-bit finalizer mix, so
-// adjacent ids spread evenly).
+// shardIndex hashes an object id to its shard. The hash lives in
+// internal/partition — the same deterministic map a scatter-gather
+// gateway uses to route objects across whole primaries — so "which shard
+// inside an engine" and "which partition of a fleet" are one function at
+// two scales.
 func (e *Engine) shardIndex(objectID int) int {
-	h := uint64(objectID)
-	h ^= h >> 33
-	h *= 0xff51afd7ed558ccd
-	h ^= h >> 33
-	return int(h % uint64(len(e.shards)))
+	return partition.Index(objectID, len(e.shards))
 }
 
 // Observe enqueues a single observation without the batching overhead of

@@ -1,0 +1,937 @@
+// Package gateway implements the scatter-gather router in front of a
+// partitioned hotpathsd fleet: N independent -wal primaries, each owning
+// the objects that hash to its partition (internal/partition), fronted by
+// one process that routes writes to owners and merges reads at a shared
+// epoch.
+//
+// # Write routing
+//
+// POST /observe splits each batch by partition.Index(object, N) and
+// forwards every record to exactly one primary, exactly once (failed
+// sub-batches are reported, never retried — a retry could double-apply).
+// POST /tick is an epoch barrier: the tick is forwarded to every primary
+// and succeeds only when all of them applied it, so the fleet shares one
+// epoch sequence. All writes MUST flow through the gateway — that is
+// what lets it cache merged reads per epoch and know when they go stale.
+//
+// # Read merging
+//
+// GET /topk, /paths and /paths.geojson are answered from one merged view:
+// the gateway fetches every partition's full /paths at an agreed epoch
+// (the X-Hotpaths-Epoch response header, re-fetching laggards until all
+// partitions answer at the same epoch), sums hotness by path id — ids are
+// content-addressed, so a corridor discovered by several partitions
+// merges by id alone — and sorts the union in the canonical order. The
+// merged view is cached until the next write, mirroring hotpathsd's own
+// snapshot cache, so steady-state reads cost one local query, not a
+// fan-out. Query parameters (k/limit, min_hotness, bbox, sort) are
+// applied to the merged view with Snapshot.Query's exact semantics, so a
+// fleet behind a gateway answers byte-identically to one hotpathsd fed
+// the same workload.
+//
+// When a partition cannot be reached the gateway answers 206 with the
+// partitions it could merge and names the missing ones in the
+// X-Hotpaths-Partial header — a partial answer a client can see is
+// partial, never a silently shrunken one.
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hotpaths"
+	"hotpaths/internal/metrics"
+	"hotpaths/internal/partition"
+)
+
+// Config parameterises a Gateway.
+type Config struct {
+	// Table is the fleet: partition i's base URL at slot i (required).
+	Table partition.Table
+
+	// K is the default /topk and /watch result cap (default 10),
+	// mirroring hotpathsd's -k.
+	K int
+
+	// Client is the HTTP client for partition requests (default: a
+	// dedicated client; streams rely on no overall timeout, so per-call
+	// deadlines come from RequestTimeout instead).
+	Client *http.Client
+
+	// RequestTimeout bounds each per-partition sub-request (default 10s).
+	RequestTimeout time.Duration
+
+	// AlignRetries and AlignWait govern epoch agreement on reads: a
+	// partition that answers at an older epoch than its peers is
+	// re-fetched up to AlignRetries times, AlignWait apart (defaults 50
+	// and 5ms), before the read fails. Alignment only races in-flight
+	// ticks, so one round is the common case.
+	AlignRetries int
+	AlignWait    time.Duration
+
+	// ProbeInterval is the health prober cadence (default 1s). Negative
+	// disables background probing (New still probes once).
+	ProbeInterval time.Duration
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.K <= 0 {
+		cfg.K = 10
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	if cfg.AlignRetries <= 0 {
+		cfg.AlignRetries = 50
+	}
+	if cfg.AlignWait <= 0 {
+		cfg.AlignWait = 5 * time.Millisecond
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = time.Second
+	}
+	return cfg
+}
+
+// part is one partition's runtime state: its table entry plus the
+// prober's latest view.
+type part struct {
+	id  int
+	url string
+
+	reqHist *metrics.Histogram
+	healthG *metrics.Gauge
+
+	mu      sync.Mutex
+	checked bool // at least one probe round completed
+	healthy bool
+	lastErr string
+	epoch   int64
+	clock   int64
+}
+
+func (p *part) setHealth(healthy bool, err string, epoch, clock int64) {
+	p.mu.Lock()
+	p.checked = true
+	p.healthy = healthy
+	p.lastErr = err
+	if healthy {
+		p.epoch, p.clock = epoch, clock
+	}
+	p.mu.Unlock()
+	v := int64(0)
+	if healthy {
+		v = 1
+	}
+	p.healthG.Set(v)
+}
+
+// Gateway routes writes to partition owners and merges reads across the
+// fleet. Build one with New, mount Handler, and Close it on shutdown.
+type Gateway struct {
+	cfg    Config
+	client *http.Client
+	parts  []*part
+	start  time.Time
+
+	// gen counts writes routed through the gateway; the merged read view
+	// is cached per generation, exactly like hotpathsd's snapshot cache.
+	gen    atomic.Uint64
+	mu     sync.Mutex
+	cached *mergedView
+
+	closing   chan struct{}
+	closeOnce sync.Once
+	probeDone chan struct{}
+}
+
+// mergedView is the fleet's merged read state at one epoch: every
+// partition's paths with hotness summed by id, in canonical order.
+type mergedView struct {
+	gen   uint64
+	epoch int64
+	clock int64
+	paths []hotpaths.HotPath
+}
+
+// New validates the table, probes the fleet once, and returns a running
+// gateway (background prober included unless ProbeInterval < 0).
+func New(cfg Config) (*Gateway, error) {
+	if err := cfg.Table.Validate(); err != nil {
+		return nil, fmt.Errorf("gateway: %w", err)
+	}
+	cfg = cfg.withDefaults()
+	g := &Gateway{
+		cfg:       cfg,
+		client:    cfg.Client,
+		start:     time.Now(),
+		closing:   make(chan struct{}),
+		probeDone: make(chan struct{}),
+	}
+	for _, pt := range cfg.Table.Partitions {
+		label := metrics.Labels{"partition": strconv.Itoa(pt.ID)}
+		g.parts = append(g.parts, &part{
+			id:  pt.ID,
+			url: strings.TrimRight(pt.URL, "/"),
+			reqHist: metrics.Default.Histogram("hotpathsgw_partition_request_seconds",
+				"Sub-request duration by partition.", metrics.LatencyBuckets, label),
+			healthG: metrics.Default.Gauge("hotpathsgw_partition_healthy",
+				"1 while the partition's last probe succeeded.", label),
+		})
+	}
+	mPartitions.Set(int64(len(g.parts)))
+	g.probeAll()
+	if cfg.ProbeInterval > 0 {
+		go g.probeLoop()
+	} else {
+		close(g.probeDone)
+	}
+	return g, nil
+}
+
+// Close stops the background prober. In-flight requests finish on their
+// own; open /watch fan-ins end.
+func (g *Gateway) Close() {
+	g.closeOnce.Do(func() { close(g.closing) })
+	<-g.probeDone
+}
+
+// Handler mounts the gateway's HTTP surface: the hotpathsd read/write
+// endpoints (routed/merged), /stats, /healthz and /metrics.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /observe", g.instrument("/observe", g.handleObserve))
+	mux.HandleFunc("POST /observe_batch", g.instrument("/observe_batch", g.handleObserve))
+	mux.HandleFunc("POST /tick", g.instrument("/tick", g.handleTick))
+	mux.HandleFunc("GET /topk", g.instrument("/topk", g.handleTopK))
+	mux.HandleFunc("GET /paths", g.instrument("/paths", g.handlePaths))
+	mux.HandleFunc("GET /paths.geojson", g.instrument("/paths.geojson", g.handleGeoJSON))
+	mux.HandleFunc("GET /watch", g.instrument("/watch", g.handleWatch))
+	mux.HandleFunc("GET /stats", g.instrument("/stats", g.handleStats))
+	mux.HandleFunc("GET /healthz", g.instrument("/healthz", g.handleHealthz))
+	mux.Handle("GET /metrics", g.instrument("/metrics", metrics.Handler().ServeHTTP))
+	return mux
+}
+
+// ---- partition sub-requests ----------------------------------------------
+
+// do runs one sub-request against a partition with the configured
+// deadline, recording its latency.
+func (g *Gateway) do(ctx context.Context, p *part, method, path string, body []byte) (*http.Response, error) {
+	ctx, cancel := context.WithTimeout(ctx, g.cfg.RequestTimeout)
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, p.url+path, rd)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	mInflight.Add(1)
+	t0 := time.Now()
+	resp, err := g.client.Do(req)
+	p.reqHist.ObserveSince(t0)
+	mInflight.Add(-1)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	// Tie the deadline to the body: the caller just reads and closes.
+	resp.Body = &cancelBody{ReadCloser: resp.Body, cancel: cancel}
+	return resp, nil
+}
+
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}
+
+// partError is a sub-request failure tagged with its partition.
+type partError struct {
+	id  int
+	err error
+}
+
+func (e partError) Error() string { return fmt.Sprintf("partition %d: %v", e.id, e.err) }
+
+// readError turns a non-2xx sub-response into an error carrying the
+// upstream status and its error body, when one decodes.
+func readError(resp *http.Response) error {
+	defer resp.Body.Close()
+	var body struct {
+		Error string `json:"error"`
+	}
+	msg := ""
+	if b, err := io.ReadAll(io.LimitReader(resp.Body, 4096)); err == nil {
+		if json.Unmarshal(b, &body) == nil && body.Error != "" {
+			msg = ": " + body.Error
+		}
+	}
+	return fmt.Errorf("upstream status %d%s", resp.StatusCode, msg)
+}
+
+// ---- merged reads --------------------------------------------------------
+
+// fetchPaths fetches one partition's full path set and the epoch/clock it
+// was answered at.
+func (g *Gateway) fetchPaths(ctx context.Context, p *part) (paths []hotpaths.PathJSON, epoch, clock int64, err error) {
+	resp, err := g.do(ctx, p, http.MethodGet, "/paths", nil)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, 0, readError(resp)
+	}
+	defer resp.Body.Close()
+	epoch, err = strconv.ParseInt(resp.Header.Get(hotpaths.EpochHeader), 10, 64)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("missing %s header: is this a current hotpathsd?", hotpaths.EpochHeader)
+	}
+	clock, _ = strconv.ParseInt(resp.Header.Get(hotpaths.ClockHeader), 10, 64)
+	if err := json.NewDecoder(resp.Body).Decode(&paths); err != nil {
+		return nil, 0, 0, fmt.Errorf("decode paths: %w", err)
+	}
+	return paths, epoch, clock, nil
+}
+
+// gather fetches every partition's paths at one agreed epoch. Partitions
+// that keep failing are reported in missing (with their last error) and
+// excluded from the merge; a partition that answers at an older epoch
+// than the newest is re-fetched until the fleet agrees.
+func (g *Gateway) gather(ctx context.Context) (merged *mergedView, missing []partError) {
+	type result struct {
+		paths []hotpaths.PathJSON
+		epoch int64
+		clock int64
+		err   error
+	}
+	results := make([]result, len(g.parts))
+	fetch := func(idxs []int) {
+		var wg sync.WaitGroup
+		for _, i := range idxs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				paths, epoch, clock, err := g.fetchPaths(ctx, g.parts[i])
+				results[i] = result{paths: paths, epoch: epoch, clock: clock, err: err}
+			}(i)
+		}
+		wg.Wait()
+	}
+	all := make([]int, len(g.parts))
+	for i := range all {
+		all[i] = i
+	}
+	fetch(all)
+
+	// Epoch agreement: every successful partition must answer at the
+	// newest epoch seen. Laggards are re-fetched — their tick barrier is
+	// mid-flight — rather than merged inconsistently.
+	for retry := 0; retry < g.cfg.AlignRetries; retry++ {
+		target := int64(-1)
+		for i := range results {
+			if results[i].err == nil && results[i].epoch > target {
+				target = results[i].epoch
+			}
+		}
+		var stale []int
+		for i := range results {
+			if results[i].err == nil && results[i].epoch < target {
+				stale = append(stale, i)
+			}
+		}
+		if len(stale) == 0 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			stale = nil
+		case <-time.After(g.cfg.AlignWait):
+		}
+		if stale == nil {
+			break
+		}
+		fetch(stale)
+	}
+
+	t0 := time.Now()
+	byID := make(map[uint64]hotpaths.HotPath)
+	var epoch, clock int64
+	aligned := true
+	for i := range results {
+		if results[i].err != nil {
+			missing = append(missing, partError{id: g.parts[i].id, err: results[i].err})
+			continue
+		}
+		if results[i].epoch > epoch {
+			epoch = results[i].epoch
+		}
+		if results[i].clock > clock {
+			clock = results[i].clock
+		}
+		for _, pj := range results[i].paths {
+			hp := pj.HotPath()
+			if prev, ok := byID[hp.ID]; ok {
+				// The same corridor discovered by more than one partition:
+				// content-addressed ids make the merge a sum by id.
+				hp.Hotness += prev.Hotness
+			}
+			byID[hp.ID] = hp
+		}
+	}
+	for i := range results {
+		if results[i].err == nil && results[i].epoch != epoch {
+			aligned = false
+		}
+	}
+	if !aligned {
+		// Alignment retries exhausted with the fleet still split across
+		// epochs: merging would interleave two points in time. Fail the
+		// healthy-but-stale partitions instead.
+		for i := range results {
+			if results[i].err == nil && results[i].epoch != epoch {
+				missing = append(missing, partError{
+					id:  g.parts[i].id,
+					err: fmt.Errorf("stuck at epoch %d while the fleet reached %d", results[i].epoch, epoch),
+				})
+			}
+		}
+	}
+	out := make([]hotpaths.HotPath, 0, len(byID))
+	for _, hp := range byID {
+		out = append(out, hp)
+	}
+	hotpaths.SortResults(out, hotpaths.ByHotness)
+	mMergeSeconds.ObserveSince(t0)
+	sort.Slice(missing, func(i, j int) bool { return missing[i].id < missing[j].id })
+	return &mergedView{epoch: epoch, clock: clock, paths: out}, missing
+}
+
+// merged returns the fleet's merged view, cached per write generation.
+// Partial views (missing partitions) are returned but never cached, so
+// the next read retries the failed partitions.
+func (g *Gateway) merged(ctx context.Context) (*mergedView, []partError) {
+	gen := g.gen.Load()
+	g.mu.Lock()
+	c := g.cached
+	g.mu.Unlock()
+	if c != nil && c.gen == gen {
+		return c, nil
+	}
+	mv, missing := g.gather(ctx)
+	if len(missing) == 0 {
+		mv.gen = gen
+		g.mu.Lock()
+		if g.gen.Load() == gen {
+			g.cached = mv
+		}
+		g.mu.Unlock()
+	}
+	return mv, missing
+}
+
+// invalidate marks the merged view stale after a routed write.
+func (g *Gateway) invalidate() { g.gen.Add(1) }
+
+// writePartial stamps a partial scatter-gather response: 206 with the
+// missing partition ids in the X-Hotpaths-Partial header.
+func writePartial(w http.ResponseWriter, missing []partError) int {
+	if len(missing) == 0 {
+		return http.StatusOK
+	}
+	ids := make([]string, len(missing))
+	for i, pe := range missing {
+		ids[i] = strconv.Itoa(pe.id)
+	}
+	w.Header().Set(hotpaths.PartialHeader, strings.Join(ids, ","))
+	mPartial.Inc()
+	return http.StatusPartialContent
+}
+
+func (g *Gateway) answerQuery(w http.ResponseWriter, r *http.Request, defaultK int, geo bool) {
+	q, err := parseQuery(r, defaultK)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	mv, missing := g.merged(r.Context())
+	if len(missing) == len(g.parts) {
+		httpError(w, http.StatusBadGateway, errors.Join(asErrs(missing)...))
+		return
+	}
+	sel := q.apply(mv.paths)
+	w.Header().Set(hotpaths.EpochHeader, strconv.FormatInt(mv.epoch, 10))
+	w.Header().Set(hotpaths.ClockHeader, strconv.FormatInt(mv.clock, 10))
+	status := writePartial(w, missing)
+	if geo {
+		var buf bytes.Buffer
+		if err := hotpaths.WriteGeoJSON(&buf, sel); err != nil {
+			httpError(w, http.StatusInternalServerError, fmt.Errorf("encode geojson: %w", err))
+			return
+		}
+		w.Header().Set("Content-Type", "application/geo+json")
+		w.WriteHeader(status)
+		buf.WriteTo(w)
+		return
+	}
+	writeJSON(w, status, hotpaths.PathsJSON(sel))
+}
+
+func asErrs(pes []partError) []error {
+	out := make([]error, len(pes))
+	for i, pe := range pes {
+		out[i] = pe
+	}
+	return out
+}
+
+func (g *Gateway) handleTopK(w http.ResponseWriter, r *http.Request) {
+	g.answerQuery(w, r, g.cfg.K, false)
+}
+
+func (g *Gateway) handlePaths(w http.ResponseWriter, r *http.Request) {
+	g.answerQuery(w, r, 0, false)
+}
+
+func (g *Gateway) handleGeoJSON(w http.ResponseWriter, r *http.Request) {
+	g.answerQuery(w, r, 0, true)
+}
+
+// ---- write routing -------------------------------------------------------
+
+type observeRequest struct {
+	Observations []hotpaths.ObservationJSON `json:"observations"`
+	Tick         int64                      `json:"tick,omitempty"`
+}
+
+type tickRequest struct {
+	Now int64 `json:"now"`
+}
+
+// maxRequestBytes mirrors hotpathsd's request-body cap.
+const maxRequestBytes = 8 << 20
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, err)
+		} else {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		}
+		return false
+	}
+	return true
+}
+
+// postAll posts one body to the given partitions concurrently and
+// collects the failures. bodies[i] addresses parts[i]; a nil body skips
+// that partition.
+func (g *Gateway) postAll(ctx context.Context, path string, bodies [][]byte) []partError {
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []partError
+	)
+	for i, body := range bodies {
+		if body == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(p *part, body []byte) {
+			defer wg.Done()
+			var err error
+			resp, derr := g.do(ctx, p, http.MethodPost, path, body)
+			if derr != nil {
+				err = derr
+			} else if resp.StatusCode != http.StatusOK {
+				err = readError(resp)
+			} else {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			if err != nil {
+				mu.Lock()
+				errs = append(errs, partError{id: p.id, err: err})
+				mu.Unlock()
+			}
+		}(g.parts[i], body)
+	}
+	wg.Wait()
+	sort.Slice(errs, func(i, j int) bool { return errs[i].id < errs[j].id })
+	return errs
+}
+
+// tickAll drives the epoch barrier: POST /tick to every partition.
+func (g *Gateway) tickAll(ctx context.Context, now int64) []partError {
+	body, _ := json.Marshal(tickRequest{Now: now})
+	bodies := make([][]byte, len(g.parts))
+	for i := range bodies {
+		bodies[i] = body
+	}
+	defer g.invalidate()
+	return g.postAll(ctx, "/tick", bodies)
+}
+
+// writeErrStatus maps sub-request failures to the gateway response: 503
+// when any partition failed server-side or was unreachable (retryable),
+// else the client's 400 passes through.
+func writeErrStatus(errs []partError) int {
+	status := http.StatusBadRequest
+	for _, pe := range errs {
+		var echo interface{ Error() string } = pe.err
+		if !strings.Contains(echo.Error(), "upstream status 4") {
+			status = http.StatusServiceUnavailable
+		}
+	}
+	return status
+}
+
+// errPartitions is the per-partition detail of a failed routed write:
+// "ok" for the partitions that applied their share, the error for those
+// that did not — the operator-facing answer to "which primaries have the
+// records?".
+func (g *Gateway) errPartitions(errs []partError, touched [][]byte) map[string]string {
+	out := make(map[string]string)
+	failed := make(map[int]string, len(errs))
+	for _, pe := range errs {
+		failed[pe.id] = pe.err.Error()
+	}
+	for i, p := range g.parts {
+		if touched != nil && touched[i] == nil {
+			continue // no records routed there; nothing to report
+		}
+		if msg, ok := failed[p.id]; ok {
+			out[strconv.Itoa(p.id)] = msg
+		} else {
+			out[strconv.Itoa(p.id)] = "ok"
+		}
+	}
+	return out
+}
+
+// handleObserve serves POST /observe and /observe_batch: split the batch
+// by owner, forward each share exactly once, then (with "tick") drive the
+// epoch barrier.
+func (g *Gateway) handleObserve(w http.ResponseWriter, r *http.Request) {
+	var req observeRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	n := len(g.parts)
+	shares := make([][]hotpaths.ObservationJSON, n)
+	for _, o := range req.Observations {
+		i := partition.Index(o.Object, n)
+		shares[i] = append(shares[i], o)
+	}
+	bodies := make([][]byte, n)
+	for i, share := range shares {
+		if len(share) == 0 {
+			continue
+		}
+		b, err := json.Marshal(observeRequest{Observations: share})
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		bodies[i] = b
+	}
+	g.invalidate()
+	if errs := g.postAll(r.Context(), "/observe", bodies); len(errs) != 0 {
+		// Exactly-once means no blind retry: the failed partitions never
+		// saw their share, the others applied theirs. Report both sides.
+		writeJSON(w, writeErrStatus(errs), map[string]any{
+			"error":      errors.Join(asErrs(errs)...).Error(),
+			"partitions": g.errPartitions(errs, bodies),
+		})
+		return
+	}
+	resp := map[string]any{"accepted": len(req.Observations)}
+	if req.Tick > 0 {
+		if errs := g.tickAll(r.Context(), req.Tick); len(errs) != 0 {
+			writeJSON(w, writeErrStatus(errs), map[string]any{
+				"error":      errors.Join(asErrs(errs)...).Error(),
+				"accepted":   len(req.Observations),
+				"partitions": g.errPartitions(errs, nil),
+			})
+			return
+		}
+		resp["now"] = req.Tick
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTick serves POST /tick as the fleet-wide epoch barrier.
+func (g *Gateway) handleTick(w http.ResponseWriter, r *http.Request) {
+	var req tickRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if errs := g.tickAll(r.Context(), req.Now); len(errs) != 0 {
+		writeJSON(w, writeErrStatus(errs), map[string]any{
+			"error":      errors.Join(asErrs(errs)...).Error(),
+			"partitions": g.errPartitions(errs, nil),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"now": req.Now})
+}
+
+// ---- health and stats ----------------------------------------------------
+
+// probeLoop re-probes the fleet every ProbeInterval until Close.
+func (g *Gateway) probeLoop() {
+	defer close(g.probeDone)
+	t := time.NewTicker(g.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.closing:
+			return
+		case <-t.C:
+			g.probeAll()
+		}
+	}
+}
+
+// probeAll checks every partition once: /healthz must answer 200 and
+// /stats must advertise the partition slot the table assigns it (daemons
+// started without -partition-count advertise 0/0 and are trusted).
+func (g *Gateway) probeAll() {
+	var wg sync.WaitGroup
+	for _, p := range g.parts {
+		wg.Add(1)
+		go func(p *part) {
+			defer wg.Done()
+			g.probe(p)
+		}(p)
+	}
+	wg.Wait()
+}
+
+type statsProbe struct {
+	PartitionID    int   `json:"partition_id"`
+	PartitionCount int   `json:"partition_count"`
+	Epoch          int64 `json:"epoch"`
+	Clock          int64 `json:"clock"`
+}
+
+func (g *Gateway) probe(p *part) {
+	ctx := context.Background()
+	resp, err := g.do(ctx, p, http.MethodGet, "/healthz", nil)
+	if err != nil {
+		p.setHealth(false, err.Error(), 0, 0)
+		return
+	}
+	if resp.StatusCode != http.StatusOK {
+		p.setHealth(false, readError(resp).Error(), 0, 0)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	resp, err = g.do(ctx, p, http.MethodGet, "/stats", nil)
+	if err != nil {
+		p.setHealth(false, err.Error(), 0, 0)
+		return
+	}
+	if resp.StatusCode != http.StatusOK {
+		p.setHealth(false, readError(resp).Error(), 0, 0)
+		return
+	}
+	var st statsProbe
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		p.setHealth(false, fmt.Sprintf("decode stats: %v", err), 0, 0)
+		return
+	}
+	if st.PartitionCount != 0 && (st.PartitionCount != len(g.parts) || st.PartitionID != p.id) {
+		p.setHealth(false, fmt.Sprintf(
+			"topology mismatch: daemon declares partition %d of %d, table assigns %d of %d",
+			st.PartitionID, st.PartitionCount, p.id, len(g.parts)), 0, 0)
+		return
+	}
+	p.setHealth(true, "", st.Epoch, st.Clock)
+}
+
+// partStatus is one partition's row in /stats and /healthz.
+type partStatus struct {
+	ID      int    `json:"id"`
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	Epoch   int64  `json:"epoch"`
+	Clock   int64  `json:"clock"`
+	Error   string `json:"error,omitempty"`
+}
+
+func (g *Gateway) status() []partStatus {
+	out := make([]partStatus, len(g.parts))
+	for i, p := range g.parts {
+		p.mu.Lock()
+		out[i] = partStatus{
+			ID: p.id, URL: p.url,
+			Healthy: p.checked && p.healthy,
+			Epoch:   p.epoch, Clock: p.clock,
+			Error: p.lastErr,
+		}
+		if !p.checked && p.lastErr == "" {
+			out[i].Error = "not probed yet"
+		}
+		p.mu.Unlock()
+	}
+	return out
+}
+
+// handleHealthz reports fleet health: 503 when any partition is down,
+// fails its topology check, or lags the fleet's epoch by more than one
+// (transient skew of one epoch is an in-flight tick barrier).
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	sts := g.status()
+	var degraded []string
+	var maxEpoch int64
+	for _, st := range sts {
+		if st.Healthy && st.Epoch > maxEpoch {
+			maxEpoch = st.Epoch
+		}
+	}
+	for _, st := range sts {
+		switch {
+		case !st.Healthy:
+			degraded = append(degraded, fmt.Sprintf("partition %d: %s", st.ID, st.Error))
+		case maxEpoch-st.Epoch > 1:
+			degraded = append(degraded, fmt.Sprintf(
+				"partition %d lagging: epoch %d while the fleet reached %d", st.ID, st.Epoch, maxEpoch))
+		}
+	}
+	if len(degraded) > 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":     "degraded",
+			"error":      strings.Join(degraded, "; "),
+			"partitions": sts,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"partitions": sts,
+	})
+}
+
+// handleStats aggregates the fleet's counters: sums for the additive
+// counters, the shared epoch/clock, and the per-partition status rows.
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	type counters struct {
+		Observations int   `json:"observations"`
+		Reports      int   `json:"reports"`
+		Responses    int   `json:"responses"`
+		PathsCreated int   `json:"paths_created"`
+		PathsExpired int   `json:"paths_expired"`
+		Crossings    int   `json:"crossings"`
+		IndexSize    int   `json:"index_size"`
+		Epoch        int   `json:"epoch"`
+		Clock        int64 `json:"clock"`
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		sum  counters
+		errs []partError
+	)
+	for _, p := range g.parts {
+		wg.Add(1)
+		go func(p *part) {
+			defer wg.Done()
+			var c counters
+			resp, err := g.do(r.Context(), p, http.MethodGet, "/stats", nil)
+			if err == nil {
+				if resp.StatusCode != http.StatusOK {
+					err = readError(resp)
+				} else {
+					err = json.NewDecoder(resp.Body).Decode(&c)
+					resp.Body.Close()
+				}
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, partError{id: p.id, err: err})
+				return
+			}
+			sum.Observations += c.Observations
+			sum.Reports += c.Reports
+			sum.Responses += c.Responses
+			sum.PathsCreated += c.PathsCreated
+			sum.PathsExpired += c.PathsExpired
+			sum.Crossings += c.Crossings
+			sum.IndexSize += c.IndexSize
+			if c.Epoch > sum.Epoch {
+				sum.Epoch = c.Epoch
+			}
+			if c.Clock > sum.Clock {
+				sum.Clock = c.Clock
+			}
+		}(p)
+	}
+	wg.Wait()
+	resp := map[string]any{
+		"gateway":         true,
+		"partition_count": len(g.parts),
+		"table_version":   g.cfg.Table.Version,
+		"uptime_seconds":  int(time.Since(g.start).Seconds()),
+		// Sums over the fleet. index_size double-counts a corridor that
+		// straddles partitions (each owner stores it); the merged read
+		// path dedupes by id, this probe does not fan in path sets.
+		"observations":  sum.Observations,
+		"reports":       sum.Reports,
+		"responses":     sum.Responses,
+		"paths_created": sum.PathsCreated,
+		"paths_expired": sum.PathsExpired,
+		"crossings":     sum.Crossings,
+		"index_size":    sum.IndexSize,
+		"epoch":         sum.Epoch,
+		"clock":         sum.Clock,
+		"partitions":    g.status(),
+	}
+	status := http.StatusOK
+	if len(errs) > 0 {
+		resp["error"] = errors.Join(asErrs(errs)...).Error()
+		status = writePartial(w, errs)
+	}
+	writeJSON(w, status, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]any{"error": err.Error()})
+}

@@ -1,0 +1,454 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hotpaths"
+	"hotpaths/internal/partition"
+)
+
+// fakePart is a scriptable stand-in for one partition daemon: it records
+// the writes it receives and serves a fixed path set, so the tests can
+// check routing (what reached whom, how many times) and failure handling
+// (what the gateway answers when a partition is down).
+type fakePart struct {
+	id, count int
+
+	failing atomic.Bool // 500 on every request while set
+
+	mu      sync.Mutex
+	batches [][]hotpaths.ObservationJSON
+	ticks   []int64
+	paths   []hotpaths.PathJSON
+	epoch   int64
+	srv     *httptest.Server
+}
+
+func newFakePart(t *testing.T, id, count int) *fakePart {
+	t.Helper()
+	f := &fakePart{id: id, count: count}
+	mux := http.NewServeMux()
+	guard := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if f.failing.Load() {
+				http.Error(w, `{"error":"injected failure"}`, http.StatusInternalServerError)
+				return
+			}
+			h(w, r)
+		}
+	}
+	mux.HandleFunc("POST /observe", guard(func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Observations []hotpaths.ObservationJSON `json:"observations"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		f.mu.Lock()
+		f.batches = append(f.batches, req.Observations)
+		f.mu.Unlock()
+		fmt.Fprintf(w, `{"accepted": %d}`, len(req.Observations))
+	}))
+	mux.HandleFunc("POST /tick", guard(func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Now int64 `json:"now"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		f.mu.Lock()
+		f.ticks = append(f.ticks, req.Now)
+		f.mu.Unlock()
+		fmt.Fprintf(w, `{"now": %d}`, req.Now)
+	}))
+	mux.HandleFunc("GET /paths", guard(func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		paths, epoch := f.paths, f.epoch
+		f.mu.Unlock()
+		if paths == nil {
+			paths = []hotpaths.PathJSON{}
+		}
+		w.Header().Set(hotpaths.EpochHeader, strconv.FormatInt(epoch, 10))
+		w.Header().Set(hotpaths.ClockHeader, strconv.FormatInt(epoch*10, 10))
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(paths)
+	}))
+	mux.HandleFunc("GET /healthz", guard(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"status":"ok"}`)
+	}))
+	mux.HandleFunc("GET /stats", guard(func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		epoch := f.epoch
+		f.mu.Unlock()
+		json.NewEncoder(w).Encode(map[string]any{
+			"partition_id":    f.id,
+			"partition_count": f.count,
+			"epoch":           epoch,
+			"clock":           epoch * 10,
+			"observations":    1,
+			"index_size":      len(f.paths),
+		})
+	}))
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func newFakeFleet(t *testing.T, n int) []*fakePart {
+	t.Helper()
+	fleet := make([]*fakePart, n)
+	for i := range fleet {
+		fleet[i] = newFakePart(t, i, n)
+	}
+	return fleet
+}
+
+func newTestGateway(t *testing.T, fleet []*fakePart, probe time.Duration) *Gateway {
+	t.Helper()
+	urls := make([]string, len(fleet))
+	for i, f := range fleet {
+		urls[i] = f.srv.URL
+	}
+	g, err := New(Config{
+		Table:         partition.NewTable(urls...),
+		K:             10,
+		ProbeInterval: probe,
+		AlignRetries:  3,
+		AlignWait:     time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	return g
+}
+
+func doReq(t *testing.T, h http.Handler, method, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// hp builds one wire path with a distinguishable id and hotness.
+func hp(id uint64, hotness int) hotpaths.PathJSON {
+	return hotpaths.PathJSON{
+		ID: id, Hotness: hotness,
+		Start: hotpaths.PointJSON{X: 0, Y: float64(id)},
+		End:   hotpaths.PointJSON{X: 100, Y: float64(id)},
+	}
+}
+
+// TestBatchSplitExactlyOnce is the routing contract: a cross-partition
+// batch is split by owner, each share arrives at exactly one partition
+// exactly once, in the batch's relative order, and the epoch barrier
+// reaches every partition — including those with no records in the batch.
+func TestBatchSplitExactlyOnce(t *testing.T) {
+	fleet := newFakeFleet(t, 4)
+	g := newTestGateway(t, fleet, -1)
+	h := g.Handler()
+
+	var obs []hotpaths.ObservationJSON
+	for id := 1; id <= 20; id++ {
+		obs = append(obs, hotpaths.ObservationJSON{Object: id, X: float64(id), Y: 1, T: 5})
+	}
+	rec := doReq(t, h, http.MethodPost, "/observe_batch", map[string]any{
+		"observations": obs, "tick": 5,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("observe: %d %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		Accepted int   `json:"accepted"`
+		Now      int64 `json:"now"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 20 || resp.Now != 5 {
+		t.Fatalf("response = %+v, want accepted 20 now 5", resp)
+	}
+
+	seen := make(map[int]int) // object id -> deliveries
+	for i, f := range fleet {
+		f.mu.Lock()
+		if len(f.batches) > 1 {
+			t.Errorf("partition %d received %d batches, want at most 1", i, len(f.batches))
+		}
+		prevIdx := -1
+		for _, batch := range f.batches {
+			for _, o := range batch {
+				seen[o.Object]++
+				if got := partition.Index(o.Object, 4); got != i {
+					t.Errorf("object %d (owner %d) delivered to partition %d", o.Object, got, i)
+				}
+				// Relative order within the original batch must survive
+				// the split: object ids were fed ascending.
+				if o.Object <= prevIdx {
+					t.Errorf("partition %d: objects out of relative order: %d after %d", i, o.Object, prevIdx)
+				}
+				prevIdx = o.Object
+			}
+		}
+		if len(f.ticks) != 1 || f.ticks[0] != 5 {
+			t.Errorf("partition %d ticks = %v, want [5]", i, f.ticks)
+		}
+		f.mu.Unlock()
+	}
+	for id := 1; id <= 20; id++ {
+		if seen[id] != 1 {
+			t.Errorf("object %d delivered %d times, want exactly once", id, seen[id])
+		}
+	}
+}
+
+// TestMergeSumsByID: a corridor discovered by two partitions (one id,
+// content-addressed) merges into one path with summed hotness.
+func TestMergeSumsByID(t *testing.T) {
+	fleet := newFakeFleet(t, 2)
+	fleet[0].paths = []hotpaths.PathJSON{hp(9, 6), hp(7, 2)}
+	fleet[1].paths = []hotpaths.PathJSON{hp(7, 3)}
+	g := newTestGateway(t, fleet, -1)
+
+	rec := doReq(t, g.Handler(), http.MethodGet, "/topk", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("topk: %d %s", rec.Code, rec.Body.String())
+	}
+	var got []hotpaths.PathJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d paths, want 2 (id 7 merged)", len(got))
+	}
+	if got[0].ID != 9 || got[0].Hotness != 6 {
+		t.Errorf("rank 1 = id %d hotness %d, want id 9 hotness 6", got[0].ID, got[0].Hotness)
+	}
+	if got[1].ID != 7 || got[1].Hotness != 5 {
+		t.Errorf("rank 2 = id %d hotness %d, want id 7 hotness 2+3", got[1].ID, got[1].Hotness)
+	}
+}
+
+// TestPartialResults: a dead partition turns reads into 206 with the
+// missing partition named in X-Hotpaths-Partial; the partial view is
+// never cached, so the read heals as soon as the partition does; with
+// every partition down the gateway answers 502.
+func TestPartialResults(t *testing.T) {
+	fleet := newFakeFleet(t, 2)
+	fleet[0].paths = []hotpaths.PathJSON{hp(1, 4)}
+	fleet[1].paths = []hotpaths.PathJSON{hp(2, 9)}
+	g := newTestGateway(t, fleet, -1)
+	h := g.Handler()
+
+	fleet[1].failing.Store(true)
+	rec := doReq(t, h, http.MethodGet, "/paths", nil)
+	if rec.Code != http.StatusPartialContent {
+		t.Fatalf("paths with partition 1 down: %d, want 206", rec.Code)
+	}
+	if got := rec.Header().Get(hotpaths.PartialHeader); got != "1" {
+		t.Fatalf("%s = %q, want \"1\"", hotpaths.PartialHeader, got)
+	}
+	var got []hotpaths.PathJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("partial body = %+v, want partition 0's path only", got)
+	}
+
+	// Heal: the 206 must not have been cached.
+	fleet[1].failing.Store(false)
+	rec = doReq(t, h, http.MethodGet, "/paths", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("paths after heal: %d, want 200", rec.Code)
+	}
+	if got := rec.Header().Get(hotpaths.PartialHeader); got != "" {
+		t.Fatalf("healed response still partial: %q", got)
+	}
+	got = nil
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("healed body has %d paths, want 2", len(got))
+	}
+
+	fleet[0].failing.Store(true)
+	fleet[1].failing.Store(true)
+	// The healed read above cached a complete view, which legitimately
+	// keeps answering (the fleet cannot have changed without a routed
+	// write). A write invalidates it; only then must reads fail hard.
+	doReq(t, h, http.MethodPost, "/tick", map[string]any{"now": 99})
+	rec = doReq(t, h, http.MethodGet, "/topk", nil)
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("topk with whole fleet down: %d, want 502", rec.Code)
+	}
+}
+
+// TestWriteFailureExactlyOnce: with one partition down, a cross-partition
+// batch answers 503, the healthy partition has applied its share exactly
+// once (no retry, no duplicate), and the response maps each touched
+// partition to "ok" or its error so the operator knows where the records
+// went.
+func TestWriteFailureExactlyOnce(t *testing.T) {
+	fleet := newFakeFleet(t, 2)
+	g := newTestGateway(t, fleet, -1)
+	h := g.Handler()
+
+	// Objects 1 and 2 happen to split across the two partitions; assert
+	// rather than assume.
+	if partition.Index(1, 2) == partition.Index(2, 2) {
+		t.Fatal("test objects 1 and 2 no longer split across 2 partitions")
+	}
+	down := partition.Index(1, 2)
+	fleet[down].failing.Store(true)
+
+	rec := doReq(t, h, http.MethodPost, "/observe", map[string]any{
+		"observations": []hotpaths.ObservationJSON{
+			{Object: 1, X: 1, Y: 1, T: 1},
+			{Object: 2, X: 2, Y: 2, T: 1},
+		},
+	})
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("observe with partition %d down: %d, want 503", down, rec.Code)
+	}
+	var resp struct {
+		Error      string            `json:"error"`
+		Partitions map[string]string `json:"partitions"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	up := 1 - down
+	if resp.Partitions[strconv.Itoa(up)] != "ok" {
+		t.Errorf("healthy partition reported %q, want \"ok\"", resp.Partitions[strconv.Itoa(up)])
+	}
+	if resp.Partitions[strconv.Itoa(down)] == "" || resp.Partitions[strconv.Itoa(down)] == "ok" {
+		t.Errorf("failed partition reported %q, want its error", resp.Partitions[strconv.Itoa(down)])
+	}
+
+	fleet[up].mu.Lock()
+	if len(fleet[up].batches) != 1 || len(fleet[up].batches[0]) != 1 {
+		t.Errorf("healthy partition batches = %v, want exactly one single-record batch", fleet[up].batches)
+	}
+	fleet[up].mu.Unlock()
+	fleet[down].mu.Lock()
+	if len(fleet[down].batches) != 0 {
+		t.Errorf("failed partition recorded %d batches, want 0", len(fleet[down].batches))
+	}
+	fleet[down].mu.Unlock()
+}
+
+// TestHealthzDegrades: the prober turns a dead partition into a 503
+// /healthz naming it, and recovery turns it back.
+func TestHealthzDegrades(t *testing.T) {
+	fleet := newFakeFleet(t, 2)
+	g := newTestGateway(t, fleet, 5*time.Millisecond)
+	h := g.Handler()
+
+	if rec := doReq(t, h, http.MethodGet, "/healthz", nil); rec.Code != http.StatusOK {
+		t.Fatalf("initial healthz: %d %s", rec.Code, rec.Body.String())
+	}
+
+	fleet[1].failing.Store(true)
+	waitFor(t, "healthz to degrade", func() bool {
+		return doReq(t, h, http.MethodGet, "/healthz", nil).Code == http.StatusServiceUnavailable
+	})
+	rec := doReq(t, h, http.MethodGet, "/healthz", nil)
+	if rec.Code == http.StatusServiceUnavailable {
+		var body struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatal(err)
+		}
+		if body.Status != "degraded" || body.Error == "" {
+			t.Errorf("degraded body = %+v, want status degraded with an error", body)
+		}
+	}
+
+	fleet[1].failing.Store(false)
+	waitFor(t, "healthz to recover", func() bool {
+		return doReq(t, h, http.MethodGet, "/healthz", nil).Code == http.StatusOK
+	})
+}
+
+// TestTopologyMismatch: a daemon declaring a different partition slot
+// than the table assigns it (a crossed wire in the fleet config) degrades
+// health rather than silently serving misrouted traffic.
+func TestTopologyMismatch(t *testing.T) {
+	fleet := newFakeFleet(t, 2)
+	fleet[1].id = 0 // daemon thinks it is partition 0; table says 1
+	g := newTestGateway(t, fleet, -1)
+
+	rec := doReq(t, g.Handler(), http.MethodGet, "/healthz", nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with misdeclared partition: %d, want 503", rec.Code)
+	}
+	if body := rec.Body.String(); !bytes.Contains([]byte(body), []byte("topology mismatch")) {
+		t.Errorf("healthz body %q does not name the topology mismatch", body)
+	}
+}
+
+// TestCacheInvalidatedByWrites: the merged view is cached between
+// writes (all writes flow through the gateway) and re-gathered after
+// any routed write.
+func TestCacheInvalidatedByWrites(t *testing.T) {
+	fleet := newFakeFleet(t, 2)
+	fleet[0].paths = []hotpaths.PathJSON{hp(1, 1)}
+	g := newTestGateway(t, fleet, -1)
+	h := g.Handler()
+
+	doReq(t, h, http.MethodGet, "/paths", nil) // warm the cache
+	fleet[0].mu.Lock()
+	fleet[0].paths = []hotpaths.PathJSON{hp(1, 8)}
+	fleet[0].mu.Unlock()
+
+	// No write yet: the cached view still answers.
+	rec := doReq(t, h, http.MethodGet, "/paths", nil)
+	var got []hotpaths.PathJSON
+	json.Unmarshal(rec.Body.Bytes(), &got)
+	if len(got) != 1 || got[0].Hotness != 1 {
+		t.Fatalf("cached read = %+v, want the pre-write view (hotness 1)", got)
+	}
+
+	// A routed write invalidates; the next read re-gathers.
+	doReq(t, h, http.MethodPost, "/tick", map[string]any{"now": 10})
+	rec = doReq(t, h, http.MethodGet, "/paths", nil)
+	got = nil
+	json.Unmarshal(rec.Body.Bytes(), &got)
+	if len(got) != 1 || got[0].Hotness != 8 {
+		t.Fatalf("post-write read = %+v, want the fresh view (hotness 8)", got)
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

@@ -1,0 +1,134 @@
+package gateway
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hotpaths"
+)
+
+// gwQuery mirrors hotpathsd's URL query parameters over the gateway's
+// merged view. hotpaths.Query carries the same selection but applies
+// only to a Snapshot, so the gateway keeps its own copy of the fields
+// and replicates Snapshot.Query's order of operations exactly — the
+// golden tests hold it to byte-identical answers.
+type gwQuery struct {
+	k          int
+	minHotness int
+	region     hotpaths.Rect
+	hasRegion  bool
+	order      hotpaths.SortOrder
+}
+
+// parseQuery parses the shared URL parameters k (or limit), min_hotness,
+// bbox=minx,miny,maxx,maxy and sort=hotness|score, with hotpathsd's
+// exact validation rules.
+func parseQuery(r *http.Request, defaultK int) (gwQuery, error) {
+	q := gwQuery{}
+	vals := r.URL.Query()
+	if vals.Get("k") != "" && vals.Get("limit") != "" {
+		return q, fmt.Errorf("k and limit are aliases; pass only one")
+	}
+	q.k = defaultK
+	for _, name := range []string{"k", "limit"} {
+		if s := vals.Get(name); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 0 {
+				return q, fmt.Errorf("%s must be a non-negative integer, got %q", name, s)
+			}
+			q.k = n
+		}
+	}
+	if s := vals.Get("min_hotness"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			return q, fmt.Errorf("min_hotness must be a non-negative integer, got %q", s)
+		}
+		q.minHotness = n
+	}
+	if s := vals.Get("bbox"); s != "" {
+		rect, err := parseBounds(s)
+		if err != nil {
+			return q, fmt.Errorf("bbox: %w", err)
+		}
+		if rect.Max.X < rect.Min.X || rect.Max.Y < rect.Min.Y {
+			return q, fmt.Errorf("bbox %q has max < min", s)
+		}
+		q.region, q.hasRegion = rect, true
+	}
+	switch s := vals.Get("sort"); s {
+	case "", "hotness":
+		q.order = hotpaths.ByHotness
+	case "score":
+		q.order = hotpaths.ByScore
+	default:
+		return q, fmt.Errorf("sort must be \"hotness\" or \"score\", got %q", s)
+	}
+	return q, nil
+}
+
+// parseBounds parses "minx,miny,maxx,maxy" with hotpathsd's rules
+// (finite components only; NaN and Inf would silently match nothing).
+func parseBounds(s string) (hotpaths.Rect, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return hotpaths.Rect{}, fmt.Errorf("bounds must be minx,miny,maxx,maxy, got %q", s)
+	}
+	vals := make([]float64, 4)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return hotpaths.Rect{}, fmt.Errorf("bounds component %q: %w", p, err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return hotpaths.Rect{}, fmt.Errorf("bounds component %q must be finite", p)
+		}
+		vals[i] = v
+	}
+	return hotpaths.Rect{
+		Min: hotpaths.Pt(vals[0], vals[1]),
+		Max: hotpaths.Pt(vals[2], vals[3]),
+	}, nil
+}
+
+// apply runs the selection over the merged view with Snapshot.Query's
+// order of operations: region filter (end vertex inside, inclusive, in
+// canonical order), min_hotness prefix cut, then the order/k shaping.
+// paths must be in canonical (ByHotness) order and is never mutated.
+func (q gwQuery) apply(paths []hotpaths.HotPath) []hotpaths.HotPath {
+	sel := paths
+	if q.hasRegion {
+		filtered := make([]hotpaths.HotPath, 0, len(sel))
+		for _, hp := range sel {
+			if hp.End.X >= q.region.Min.X && hp.End.X <= q.region.Max.X &&
+				hp.End.Y >= q.region.Min.Y && hp.End.Y <= q.region.Max.Y {
+				filtered = append(filtered, hp)
+			}
+		}
+		sel = filtered
+	}
+	if q.minHotness > 0 {
+		// Canonical order means the matches are exactly a prefix.
+		cut := sort.Search(len(sel), func(i int) bool { return sel[i].Hotness < q.minHotness })
+		sel = sel[:cut]
+	}
+	if q.order == hotpaths.ByHotness {
+		if q.k > 0 && q.k < len(sel) {
+			sel = sel[:q.k]
+		}
+		out := make([]hotpaths.HotPath, len(sel))
+		copy(out, sel)
+		return out
+	}
+	out := make([]hotpaths.HotPath, len(sel))
+	copy(out, sel)
+	hotpaths.SortResults(out, q.order)
+	if q.k > 0 && q.k < len(out) {
+		out = out[:q.k]
+	}
+	return out
+}

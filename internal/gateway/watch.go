@@ -1,0 +1,346 @@
+package gateway
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"hotpaths"
+)
+
+// The /watch fan-in merges the partitions' per-epoch delta streams into
+// one stream a client cannot tell from a single hotpathsd's.
+//
+// Each partition stream is consumed with limit=0 — deltas over the
+// partition's full (bbox-filtered) result — and replayed through
+// Delta.Apply, so the gateway always holds every partition's complete
+// result at each epoch. A collector waits until all partitions have
+// reached a common epoch, merges their results (sum hotness by id),
+// applies the client's query, and emits the diff against the previously
+// emitted result — the same diff a single node would have computed over
+// the same merged state. Only bbox is pushed down to the partitions:
+// region membership is per-path geometry, while k and min_hotness are
+// properties of the global result and must be applied after the merge.
+//
+// A partition stream that re-baselines (its reset with missed > 0 means
+// it skipped epochs) leaves holes no merged increment can cross, so the
+// fan-in emits its own reset with the skipped epochs counted in missed —
+// the exact contract a single daemon's slow-consumer path has. A
+// partition stream that dies ends the merged stream; the client
+// reconnects and re-baselines, which is already its reconnect story.
+
+// deltaJSON is hotpathsd's SSE delta wire form; the gateway both parses
+// it (partition streams) and emits it (the merged stream).
+type deltaJSON struct {
+	Clock   int64               `json:"clock"`
+	Epoch   int64               `json:"epoch"`
+	Reset   bool                `json:"reset,omitempty"`
+	Missed  int                 `json:"missed,omitempty"`
+	Entered []hotpaths.PathJSON `json:"entered"`
+	Changed []hotpaths.PathJSON `json:"changed"`
+	Left    []uint64            `json:"left"`
+}
+
+// delta converts the wire form back to the library type.
+func (dj deltaJSON) delta() hotpaths.Delta {
+	toHot := func(ps []hotpaths.PathJSON) []hotpaths.HotPath {
+		if len(ps) == 0 {
+			return nil
+		}
+		out := make([]hotpaths.HotPath, len(ps))
+		for i, p := range ps {
+			out[i] = p.HotPath()
+		}
+		return out
+	}
+	return hotpaths.Delta{
+		Clock:   dj.Clock,
+		Epoch:   dj.Epoch,
+		Reset:   dj.Reset,
+		Missed:  dj.Missed,
+		Entered: toHot(dj.Entered),
+		Changed: toHot(dj.Changed),
+		Left:    dj.Left,
+		Order:   hotpaths.ByHotness,
+	}
+}
+
+// unranked converts delta paths to the wire form with rank zeroed — a
+// delta sees a slice of the result, so no real rank exists (hotpathsd's
+// rule, replicated for byte-identical streams).
+func unranked(paths []hotpaths.HotPath) []hotpaths.PathJSON {
+	out := hotpaths.PathsJSON(paths)
+	for i := range out {
+		out[i].Rank = 0
+	}
+	return out
+}
+
+// writeSSEDelta emits one delta in hotpathsd's exact SSE framing.
+func writeSSEDelta(w http.ResponseWriter, d hotpaths.Delta) error {
+	left := d.Left
+	if left == nil {
+		left = []uint64{}
+	}
+	body, err := json.Marshal(deltaJSON{
+		Clock:   d.Clock,
+		Epoch:   d.Epoch,
+		Reset:   d.Reset,
+		Missed:  d.Missed,
+		Entered: unranked(d.Entered),
+		Changed: unranked(d.Changed),
+		Left:    left,
+	})
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: delta\ndata: %s\n\n", d.Epoch, body)
+	return err
+}
+
+// partUpdate is one partition's rebuilt full result at one epoch.
+type partUpdate struct {
+	idx   int
+	epoch int64
+	clock int64
+	state []hotpaths.HotPath
+}
+
+// openWatch starts one partition's delta stream. The request context has
+// no deadline — streams live as long as the client — so it is not routed
+// through Gateway.do.
+func (g *Gateway) openWatch(ctx context.Context, p *part, bbox string) (*http.Response, error) {
+	u := p.url + "/watch?limit=0"
+	if bbox != "" {
+		u += "&bbox=" + url.QueryEscape(bbox)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, readError(resp)
+	}
+	return resp, nil
+}
+
+// watchPartition consumes one partition's SSE stream, rebuilding its
+// full result with Delta.Apply and pushing one partUpdate per epoch.
+func (g *Gateway) watchPartition(ctx context.Context, idx int, resp *http.Response, updates chan<- partUpdate) error {
+	defer resp.Body.Close()
+	rd := bufio.NewReaderSize(resp.Body, 64<<10)
+	var event, data string
+	var prev []hotpaths.HotPath
+	for {
+		line, err := rd.ReadString('\n')
+		if err != nil {
+			return fmt.Errorf("stream ended: %w", err)
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == "":
+			if event == "delta" && data != "" {
+				var dj deltaJSON
+				if err := json.Unmarshal([]byte(data), &dj); err != nil {
+					return fmt.Errorf("decode delta: %w", err)
+				}
+				d := dj.delta()
+				prev = d.Apply(prev)
+				select {
+				case updates <- partUpdate{idx: idx, epoch: d.Epoch, clock: d.Clock, state: prev}:
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+			event, data = "", ""
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+}
+
+// mergeStates merges per-partition results into one canonical-order
+// result, summing hotness by (content-addressed) id.
+func mergeStates(states [][]hotpaths.HotPath) []hotpaths.HotPath {
+	byID := make(map[uint64]hotpaths.HotPath)
+	for _, st := range states {
+		for _, hp := range st {
+			if prev, ok := byID[hp.ID]; ok {
+				hp.Hotness += prev.Hotness
+			}
+			byID[hp.ID] = hp
+		}
+	}
+	out := make([]hotpaths.HotPath, 0, len(byID))
+	for _, hp := range byID {
+		out = append(out, hp)
+	}
+	hotpaths.SortResults(out, hotpaths.ByHotness)
+	return out
+}
+
+// handleWatch serves GET /watch: the merged SSE delta stream, with
+// hotpathsd's parameters and framing.
+func (g *Gateway) handleWatch(w http.ResponseWriter, r *http.Request) {
+	q, err := parseQuery(r, g.cfg.K)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, errors.New("streaming unsupported by connection"))
+		return
+	}
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+
+	// Open every partition stream before committing to SSE, so a dead
+	// partition is a clean 503 instead of a stream that never baselines.
+	bbox := r.URL.Query().Get("bbox")
+	resps := make([]*http.Response, len(g.parts))
+	for i, p := range g.parts {
+		resp, err := g.openWatch(ctx, p, bbox)
+		if err != nil {
+			for _, open := range resps[:i] {
+				open.Body.Close()
+			}
+			httpError(w, http.StatusServiceUnavailable, partError{id: p.id, err: err})
+			return
+		}
+		resps[i] = resp
+	}
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	updates := make(chan partUpdate)
+	readerErr := make(chan error, len(g.parts))
+	for i := range g.parts {
+		go func(i int) {
+			readerErr <- g.watchPartition(ctx, i, resps[i], updates)
+		}(i)
+	}
+
+	// pending holds, per partition, the rebuilt results for epochs not
+	// yet folded into the merged stream.
+	pending := make([]map[int64]partUpdate, len(g.parts))
+	for i := range pending {
+		pending[i] = make(map[int64]partUpdate)
+	}
+	var (
+		prevResult []hotpaths.HotPath
+		lastEpoch  int64
+		started    bool
+	)
+	emit := func(e partUpdate, states [][]hotpaths.HotPath, clock int64) error {
+		cur := q.apply(mergeStates(states))
+		var d hotpaths.Delta
+		if !started || e.epoch != lastEpoch+1 {
+			// First event, or a partition re-baselined across missed
+			// epochs: no increment can span the gap, so the merged
+			// stream resets the same way a single daemon would.
+			missed := 0
+			if started {
+				missed = int(e.epoch - lastEpoch - 1)
+			}
+			d = hotpaths.Delta{
+				Clock: clock, Epoch: e.epoch,
+				Entered: cur, Reset: true, Missed: missed, Order: q.order,
+			}
+		} else {
+			d = hotpaths.DiffResults(prevResult, cur, q.order)
+			d.Clock, d.Epoch = clock, e.epoch
+		}
+		started, lastEpoch, prevResult = true, e.epoch, cur
+		if err := writeSSEDelta(w, d); err != nil {
+			return err
+		}
+		fl.Flush()
+		return nil
+	}
+
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-g.closing:
+			return
+		case <-readerErr:
+			// One partition's stream died: the merged stream cannot stay
+			// complete, so end it and let the client reconnect.
+			return
+		case u := <-updates:
+			pending[u.idx][u.epoch] = u
+			for {
+				// The next merged epoch is the highest "smallest pending
+				// epoch" across partitions: everything below it can never
+				// be completed (some partition has already moved past).
+				target := int64(-1)
+				complete := true
+				for i := range pending {
+					min := int64(-1)
+					for e := range pending[i] {
+						if min == -1 || e < min {
+							min = e
+						}
+					}
+					if min == -1 {
+						complete = false
+						break
+					}
+					if min > target {
+						target = min
+					}
+				}
+				if !complete {
+					break
+				}
+				ready := true
+				for i := range pending {
+					for e := range pending[i] {
+						if e < target {
+							delete(pending[i], e)
+						}
+					}
+					if _, has := pending[i][target]; !has {
+						ready = false
+					}
+				}
+				if !ready {
+					break
+				}
+				states := make([][]hotpaths.HotPath, len(pending))
+				var clock int64
+				var at partUpdate
+				for i := range pending {
+					at = pending[i][target]
+					states[i] = at.state
+					if at.clock > clock {
+						clock = at.clock
+					}
+					delete(pending[i], target)
+				}
+				at.epoch = target
+				if err := emit(at, states, clock); err != nil {
+					return
+				}
+			}
+		}
+	}
+}

@@ -213,7 +213,9 @@ func (g *Gauge) write(w io.Writer, name, labelStr string) error {
 	return err
 }
 
-type gaugeFunc struct{ fn atomic.Pointer[func() float64] }
+type gaugeFunc struct {
+	fn atomic.Pointer[func() float64]
+}
 
 func (g *gaugeFunc) write(w io.Writer, name, labelStr string) error {
 	v := 0.0

@@ -4,14 +4,53 @@ package motion
 
 import (
 	"fmt"
+	"math"
 
 	"hotpaths/internal/geom"
 	"hotpaths/internal/trajectory"
 )
 
-// PathID identifies a stored motion path. IDs are allocated by the
-// coordinator and never reused within a run.
+// PathID identifies a stored motion path. The id is content-addressed —
+// derived from the path's geometry by PathIDFor — so the same directed
+// segment always carries the same id, in every deployment and across
+// expiry/re-discovery. That is what lets independently running partitions
+// mint identical ids for identical corridors, and a merging reader sum
+// their hotness by id alone.
 type PathID uint64
+
+// PathIDFor derives the identity of the directed path s→e from its
+// geometry: a 64-bit mix of the exact float bit patterns of the four
+// coordinates. The mapping is deterministic, direction-sensitive (s→e and
+// e→s differ) and spread uniformly, so ids double as hash keys. Collisions
+// between distinct live geometries are possible in principle but need
+// ~2³² simultaneously stored paths to become likely; real indexes hold
+// orders of magnitude fewer.
+func PathIDFor(s, e geom.Point) PathID {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, v := range [4]uint64{
+		coordBits(s.X), coordBits(s.Y),
+		coordBits(e.X), coordBits(e.Y),
+	} {
+		h ^= v
+		h ^= h >> 33
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+		h *= 0xc4ceb9fe1a85ec53
+		h ^= h >> 33
+	}
+	return PathID(h)
+}
+
+// coordBits is Float64bits with the sign of zero erased: point equality
+// throughout the pipeline is plain ==, under which -0 and +0 are the same
+// coordinate (and the ε-grid snap readily produces -0), so the identity
+// hash must not tell them apart either.
+func coordBits(f float64) uint64 {
+	if f == 0 {
+		f = 0 // drops a negative sign: -0 == 0, but their bits differ
+	}
+	return math.Float64bits(f)
+}
 
 // Path is the stored geometry of a discovered motion path: the directed
 // segment S→E. Crossing intervals are tracked separately by the hotness

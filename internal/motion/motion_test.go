@@ -40,3 +40,37 @@ func TestTopKScore(t *testing.T) {
 		t.Errorf("TopKScore = %v", got)
 	}
 }
+
+func TestPathIDFor(t *testing.T) {
+	a := PathIDFor(geom.Pt(1, 2), geom.Pt(3, 4))
+	if b := PathIDFor(geom.Pt(1, 2), geom.Pt(3, 4)); b != a {
+		t.Errorf("identical geometry hashed to %d and %d", a, b)
+	}
+	if r := PathIDFor(geom.Pt(3, 4), geom.Pt(1, 2)); r == a {
+		t.Error("reversed direction must not share the id")
+	}
+	if o := PathIDFor(geom.Pt(1, 2), geom.Pt(3, 4.000001)); o == a {
+		t.Error("distinct geometry must not share the id")
+	}
+	// -0 and +0 are the same coordinate under == (the equality the whole
+	// pipeline uses), so they must carry the same identity.
+	neg := math.Copysign(0, -1)
+	if PathIDFor(geom.Pt(neg, 0), geom.Pt(10, neg)) != PathIDFor(geom.Pt(0, 0), geom.Pt(10, 0)) {
+		t.Error("-0 and +0 coordinates must hash identically")
+	}
+	// Coordinate positions must matter: swapping x and y changes the path.
+	if PathIDFor(geom.Pt(2, 1), geom.Pt(3, 4)) == a {
+		t.Error("swapped coordinates must not share the id")
+	}
+	// Uniqueness smoke over a realistic grid of snapped vertices.
+	seen := make(map[PathID]struct{})
+	for x := 0; x < 50; x++ {
+		for y := 0; y < 50; y++ {
+			id := PathIDFor(geom.Pt(0, 0), geom.Pt(float64(x)*5, float64(y)*5))
+			if _, dup := seen[id]; dup {
+				t.Fatalf("collision at (%d,%d)", x, y)
+			}
+			seen[id] = struct{}{}
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package replication
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff produces exponentially growing, jittered reconnect delays.
+//
+// The jitter is the point: every follower of a partition reconnects when
+// its primary restarts, and deterministic exponential backoff keeps the
+// whole follower set in lockstep — each retry wave arrives as one
+// synchronized stampede exactly when the primary is trying to come back
+// up. Equal jitter (half fixed, half uniform-random) breaks the wave up
+// while keeping the delay within [d/2, d) of the nominal value d, so the
+// worst-case reconnect latency bound survives.
+//
+// Backoff is safe for use from one goroutine (the applier loop owns it);
+// the shared process-wide RNG behind it is locked internally.
+type Backoff struct {
+	// Min is the first nominal delay; Max caps the growth. Both must be
+	// positive with Min <= Max.
+	Min, Max time.Duration
+
+	cur time.Duration
+}
+
+// rngMu guards the package RNG: backoffs are per-follower but followers
+// share a process.
+var (
+	rngMu sync.Mutex
+	rng   = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+// Next returns the next delay: half the current nominal value plus a
+// uniformly random share of the other half, then doubles the nominal
+// value (capped at Max) for the call after.
+func (b *Backoff) Next() time.Duration {
+	if b.cur <= 0 {
+		b.cur = b.Min
+	}
+	d := b.cur
+	if b.cur *= 2; b.cur > b.Max {
+		b.cur = b.Max
+	}
+	half := d / 2
+	rngMu.Lock()
+	j := time.Duration(rng.Int63n(int64(half) + 1))
+	rngMu.Unlock()
+	return half + j
+}
+
+// Reset restores the nominal delay to Min; call it after a healthy
+// connection so one blip does not inherit a maxed-out delay.
+func (b *Backoff) Reset() { b.cur = 0 }

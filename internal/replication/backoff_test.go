@@ -1,0 +1,37 @@
+package replication
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffBoundsAndGrowth(t *testing.T) {
+	b := &Backoff{Min: 100 * time.Millisecond, Max: 800 * time.Millisecond}
+	// Nominal sequence: 100, 200, 400, 800, 800, ... Each Next must land
+	// in [nominal/2, nominal].
+	for i, nominal := range []time.Duration{100, 200, 400, 800, 800, 800} {
+		nominal *= time.Millisecond
+		d := b.Next()
+		if d < nominal/2 || d > nominal {
+			t.Fatalf("Next #%d = %v, want within [%v, %v]", i, d, nominal/2, nominal)
+		}
+	}
+	b.Reset()
+	if d := b.Next(); d < 50*time.Millisecond || d > 100*time.Millisecond {
+		t.Errorf("after Reset, Next = %v, want within [50ms, 100ms]", d)
+	}
+}
+
+func TestBackoffJitters(t *testing.T) {
+	// With equal jitter, 32 fresh backoffs almost surely do not all agree
+	// (the random half spans 50ms in 1ns steps); identical values would
+	// mean the stampede is back.
+	seen := make(map[time.Duration]struct{})
+	for i := 0; i < 32; i++ {
+		b := &Backoff{Min: 100 * time.Millisecond, Max: time.Second}
+		seen[b.Next()] = struct{}{}
+	}
+	if len(seen) < 2 {
+		t.Errorf("32 backoffs produced %d distinct delays; jitter is not jittering", len(seen))
+	}
+}

@@ -140,7 +140,7 @@ func TestStreamResumesFromLSN(t *testing.T) {
 		t.Fatalf("stream ended early: %v", err)
 	}
 	for i, r := range got {
-		if r != testRecord(from + i) {
+		if r != testRecord(from+i) {
 			t.Fatalf("record %d mismatch", from+i)
 		}
 	}

@@ -41,8 +41,11 @@ type FollowerConfig struct {
 	ConnectTimeout time.Duration
 
 	// ReconnectMin, ReconnectMax bound the reconnect backoff after a
-	// stream drops (defaults 100ms and 5s; the delay doubles between
-	// consecutive failures and resets on a healthy connection).
+	// stream drops (defaults 100ms and 5s; the nominal delay doubles
+	// between consecutive failures and resets on a healthy connection).
+	// The actual delay is jittered within [nominal/2, nominal] so the
+	// followers of a restarted primary spread their reconnects out
+	// instead of stampeding it in lockstep waves.
 	ReconnectMin, ReconnectMax time.Duration
 
 	// StallTimeout is how long a live stream may go without any activity
@@ -243,12 +246,12 @@ func (f *Follower) bootstrap(ctx context.Context) error {
 	return nil
 }
 
-// run is the applier loop: stream, apply, reconnect with backoff,
-// re-bootstrap when resume is impossible. It exits when Close cancels the
-// context.
+// run is the applier loop: stream, apply, reconnect with jittered
+// backoff, re-bootstrap when resume is impossible. It exits when Close
+// cancels the context.
 func (f *Follower) run(ctx context.Context) {
 	defer close(f.done)
-	backoff := f.cfg.ReconnectMin
+	backoff := &replication.Backoff{Min: f.cfg.ReconnectMin, Max: f.cfg.ReconnectMax}
 	for {
 		hadConnection, err := f.streamOnce(ctx)
 		if ctx.Err() != nil {
@@ -260,7 +263,7 @@ func (f *Follower) run(ctx context.Context) {
 		if hadConnection {
 			f.reconnects++
 			mFollowerReconnects.Inc()
-			backoff = f.cfg.ReconnectMin
+			backoff.Reset()
 		}
 		if err != nil && !errors.Is(err, context.Canceled) {
 			f.lastErr = err
@@ -280,10 +283,7 @@ func (f *Follower) run(ctx context.Context) {
 		select {
 		case <-ctx.Done():
 			return
-		case <-time.After(backoff):
-		}
-		if backoff *= 2; backoff > f.cfg.ReconnectMax {
-			backoff = f.cfg.ReconnectMax
+		case <-time.After(backoff.Next()):
 		}
 	}
 }

@@ -106,6 +106,26 @@ func (d Delta) Apply(prev []HotPath) []HotPath {
 	return out
 }
 
+// SortResults orders a result set in place the way Snapshot.Query
+// materialises it: the canonical hottest-first order for ByHotness
+// (hotness desc, length desc, id asc — coordinator.TopK's comparator),
+// the score order for ByScore. Both orders are total, so any multiset of
+// paths has exactly one sorted form — which is what lets a scatter-gather
+// reader merge per-partition results and reproduce, byte for byte, the
+// order a single deployment would have produced.
+func SortResults(out []HotPath, order SortOrder) { sortResults(out, order) }
+
+// DiffResults computes the Delta between two materialised results of the
+// same query, exactly as the subscription hub does at each epoch
+// boundary: Entered/Changed in cur's order, Left in prev's order. Clock
+// and Epoch are left zero for the caller to fill in. It is exported for
+// readers that rebuild a delta stream from merged per-partition results
+// (the gateway's /watch fan-in) and must emit the identical deltas a
+// single deployment's hub would have.
+func DiffResults(prev, cur []HotPath, order SortOrder) Delta {
+	return diffResults(prev, cur, order)
+}
+
 // sortResults orders a result set the way Snapshot.Query materialises it:
 // the canonical hottest-first order for ByHotness, the score order for
 // ByScore. Both comparators break every tie down to the path id, so the

@@ -277,9 +277,20 @@ type partError struct {
 }
 
 func (e partError) Error() string { return fmt.Sprintf("partition %d: %v", e.id, e.err) }
+func (e partError) Unwrap() error { return e.err }
 
-// readError turns a non-2xx sub-response into an error carrying the
-// upstream status and its error body, when one decodes.
+// upstreamError is a non-2xx sub-response. The status travels as a typed
+// field so callers classify by code, never by parsing the message (which
+// embeds the upstream's error body verbatim).
+type upstreamError struct {
+	status int
+	msg    string
+}
+
+func (e *upstreamError) Error() string { return fmt.Sprintf("upstream status %d%s", e.status, e.msg) }
+
+// readError turns a non-2xx sub-response into an *upstreamError carrying
+// the status and the upstream's error body, when one decodes.
 func readError(resp *http.Response) error {
 	defer resp.Body.Close()
 	var body struct {
@@ -291,7 +302,7 @@ func readError(resp *http.Response) error {
 			msg = ": " + body.Error
 		}
 	}
-	return fmt.Errorf("upstream status %d%s", resp.StatusCode, msg)
+	return &upstreamError{status: resp.StatusCode, msg: msg}
 }
 
 // ---- merged reads --------------------------------------------------------
@@ -379,16 +390,29 @@ func (g *Gateway) gather(ctx context.Context) (merged *mergedView, missing []par
 	}
 
 	t0 := time.Now()
-	byID := make(map[uint64]hotpaths.HotPath)
+	// Pick the target epoch first — the newest any partition answered at —
+	// then merge only the partitions that reached it. A partition still
+	// stuck at an older epoch after the retries above is failed like an
+	// unreachable one (reported in missing, its paths excluded): merging
+	// it would interleave two points in time.
 	var epoch, clock int64
-	aligned := true
 	for i := range results {
-		if results[i].err != nil {
+		if results[i].err == nil && results[i].epoch > epoch {
+			epoch = results[i].epoch
+		}
+	}
+	byID := make(map[uint64]hotpaths.HotPath)
+	for i := range results {
+		switch {
+		case results[i].err != nil:
 			missing = append(missing, partError{id: g.parts[i].id, err: results[i].err})
 			continue
-		}
-		if results[i].epoch > epoch {
-			epoch = results[i].epoch
+		case results[i].epoch != epoch:
+			missing = append(missing, partError{
+				id:  g.parts[i].id,
+				err: fmt.Errorf("stuck at epoch %d while the fleet reached %d", results[i].epoch, epoch),
+			})
+			continue
 		}
 		if results[i].clock > clock {
 			clock = results[i].clock
@@ -401,24 +425,6 @@ func (g *Gateway) gather(ctx context.Context) (merged *mergedView, missing []par
 				hp.Hotness += prev.Hotness
 			}
 			byID[hp.ID] = hp
-		}
-	}
-	for i := range results {
-		if results[i].err == nil && results[i].epoch != epoch {
-			aligned = false
-		}
-	}
-	if !aligned {
-		// Alignment retries exhausted with the fleet still split across
-		// epochs: merging would interleave two points in time. Fail the
-		// healthy-but-stale partitions instead.
-		for i := range results {
-			if results[i].err == nil && results[i].epoch != epoch {
-				missing = append(missing, partError{
-					id:  g.parts[i].id,
-					err: fmt.Errorf("stuck at epoch %d while the fleet reached %d", results[i].epoch, epoch),
-				})
-			}
 		}
 	}
 	out := make([]hotpaths.HotPath, 0, len(byID))
@@ -600,12 +606,13 @@ func (g *Gateway) tickAll(ctx context.Context, now int64) []partError {
 
 // writeErrStatus maps sub-request failures to the gateway response: 503
 // when any partition failed server-side or was unreachable (retryable),
-// else the client's 400 passes through.
+// else the client's 400 passes through (every failure was the request's
+// own fault, rejected upstream with a 4xx).
 func writeErrStatus(errs []partError) int {
 	status := http.StatusBadRequest
 	for _, pe := range errs {
-		var echo interface{ Error() string } = pe.err
-		if !strings.Contains(echo.Error(), "upstream status 4") {
+		var ue *upstreamError
+		if !errors.As(pe.err, &ue) || ue.status < 400 || ue.status >= 500 {
 			status = http.StatusServiceUnavailable
 		}
 	}
@@ -661,8 +668,14 @@ func (g *Gateway) handleObserve(w http.ResponseWriter, r *http.Request) {
 		}
 		bodies[i] = b
 	}
+	// Invalidate only once the writes have landed (mirroring tickAll):
+	// bumping the generation first would let a concurrent read gather the
+	// pre-write state and cache it under the post-write generation, which
+	// nothing would ever invalidate. Invalidate even on partial failure —
+	// the healthy partitions applied their shares.
+	errs := g.postAll(r.Context(), "/observe", bodies)
 	g.invalidate()
-	if errs := g.postAll(r.Context(), "/observe", bodies); len(errs) != 0 {
+	if len(errs) != 0 {
 		// Exactly-once means no blind retry: the failed partitions never
 		// saw their share, the others applied theirs. Report both sides.
 		writeJSON(w, writeErrStatus(errs), map[string]any{
@@ -899,6 +912,13 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 		}(p)
 	}
 	wg.Wait()
+	sort.Slice(errs, func(i, j int) bool { return errs[i].id < errs[j].id })
+	if len(errs) == len(g.parts) {
+		// No partition answered: all-zero sums would be a lie. Fail hard,
+		// matching the merged read endpoints.
+		httpError(w, http.StatusBadGateway, errors.Join(asErrs(errs)...))
+		return
+	}
 	resp := map[string]any{
 		"gateway":         true,
 		"partition_count": len(g.parts),

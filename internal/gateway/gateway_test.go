@@ -3,6 +3,7 @@ package gateway
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -24,6 +25,8 @@ type fakePart struct {
 	id, count int
 
 	failing atomic.Bool // 500 on every request while set
+
+	observeHook func() // runs inside /observe, before the share is recorded
 
 	mu      sync.Mutex
 	batches [][]hotpaths.ObservationJSON
@@ -53,6 +56,9 @@ func newFakePart(t *testing.T, id, count int) *fakePart {
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
+		}
+		if f.observeHook != nil {
+			f.observeHook()
 		}
 		f.mu.Lock()
 		f.batches = append(f.batches, req.Observations)
@@ -438,6 +444,128 @@ func TestCacheInvalidatedByWrites(t *testing.T) {
 	json.Unmarshal(rec.Body.Bytes(), &got)
 	if len(got) != 1 || got[0].Hotness != 8 {
 		t.Fatalf("post-write read = %+v, want the fresh view (hotness 8)", got)
+	}
+}
+
+// TestObserveReadYourWrites: a read racing an in-flight /observe must not
+// poison the cache. Regression: invalidating before the forward let a
+// mid-write read gather the pre-write state and cache it under the
+// post-write generation — with no tick attached, nothing ever invalidated
+// it, so the gateway kept serving the stale view after the write's 200.
+func TestObserveReadYourWrites(t *testing.T) {
+	fleet := newFakeFleet(t, 1)
+	fleet[0].paths = []hotpaths.PathJSON{hp(1, 1)}
+	g := newTestGateway(t, fleet, -1)
+	h := g.Handler()
+
+	doReq(t, h, http.MethodGet, "/paths", nil) // warm the cache
+
+	inWrite := make(chan struct{})
+	release := make(chan struct{})
+	fleet[0].observeHook = func() {
+		close(inWrite)
+		<-release
+	}
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		done <- doReq(t, h, http.MethodPost, "/observe", map[string]any{
+			"observations": []hotpaths.ObservationJSON{{Object: 1, X: 1, Y: 1, T: 1}},
+		})
+	}()
+	<-inWrite
+	// Concurrent read while the write is in flight: it legitimately sees
+	// the pre-write state, but must not cache it past the write.
+	doReq(t, h, http.MethodGet, "/paths", nil)
+	// The write "applies": the partition serves the post-write state.
+	fleet[0].mu.Lock()
+	fleet[0].paths = []hotpaths.PathJSON{hp(1, 8)}
+	fleet[0].mu.Unlock()
+	close(release)
+	if rec := <-done; rec.Code != http.StatusOK {
+		t.Fatalf("observe: %d %s", rec.Code, rec.Body.String())
+	}
+
+	rec := doReq(t, h, http.MethodGet, "/paths", nil)
+	var got []hotpaths.PathJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Hotness != 8 {
+		t.Fatalf("read after observe = %+v, want the post-write view (hotness 8)", got)
+	}
+}
+
+// TestStaleEpochExcluded: when alignment retries run dry with a partition
+// stuck at an older epoch, its paths are excluded from the merge AND it
+// is named in X-Hotpaths-Partial — never both "absent" and merged in.
+func TestStaleEpochExcluded(t *testing.T) {
+	fleet := newFakeFleet(t, 2)
+	fleet[0].paths = []hotpaths.PathJSON{hp(1, 4)}
+	fleet[0].epoch = 5
+	fleet[1].paths = []hotpaths.PathJSON{hp(2, 9)}
+	fleet[1].epoch = 3 // permanently behind: retries cannot fix it
+	g := newTestGateway(t, fleet, -1)
+
+	rec := doReq(t, g.Handler(), http.MethodGet, "/paths", nil)
+	if rec.Code != http.StatusPartialContent {
+		t.Fatalf("paths with a stuck partition: %d, want 206", rec.Code)
+	}
+	if got := rec.Header().Get(hotpaths.PartialHeader); got != "1" {
+		t.Fatalf("%s = %q, want \"1\"", hotpaths.PartialHeader, got)
+	}
+	if got := rec.Header().Get(hotpaths.EpochHeader); got != "5" {
+		t.Fatalf("%s = %q, want the target epoch \"5\"", hotpaths.EpochHeader, got)
+	}
+	var got []hotpaths.PathJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("merged body = %+v, want the stale partition's paths excluded", got)
+	}
+}
+
+// TestWriteErrStatusClassification: the 400-vs-503 split keys off the
+// typed upstream status, not the error text — an upstream whose error
+// body happens to contain "upstream status 4xx" is still a 503.
+func TestWriteErrStatusClassification(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		errs []partError
+		want int
+	}{
+		{"all 4xx", []partError{{0, &upstreamError{status: 400}}, {1, &upstreamError{status: 422}}}, http.StatusBadRequest},
+		{"5xx", []partError{{0, &upstreamError{status: 500}}}, http.StatusServiceUnavailable},
+		{"4xx and unreachable", []partError{{0, &upstreamError{status: 400}}, {1, errors.New("dial tcp: refused")}}, http.StatusServiceUnavailable},
+		{"echoed text is not a status", []partError{{0, errors.New(`500: body says "upstream status 400"`)}}, http.StatusServiceUnavailable},
+	} {
+		if got := writeErrStatus(tc.errs); got != tc.want {
+			t.Errorf("%s: writeErrStatus = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestStatsAllPartitionsDown: /stats fails hard (502) when no partition
+// answers, matching the merged read endpoints, rather than presenting
+// all-zero sums as a partial result.
+func TestStatsAllPartitionsDown(t *testing.T) {
+	fleet := newFakeFleet(t, 2)
+	g := newTestGateway(t, fleet, -1)
+	fleet[0].failing.Store(true)
+	fleet[1].failing.Store(true)
+
+	rec := doReq(t, g.Handler(), http.MethodGet, "/stats", nil)
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("stats with whole fleet down: %d, want 502", rec.Code)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Error == "" {
+		t.Fatal("502 stats body carries no error")
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 //
 //	hotpaths bench [-out BENCH_core.json] [-baseline BENCH_core.json]
 //	               [-max-regress 0.25] [-run name,name] [-list] [-q]
+//	               [-paper BENCH_paper.json]
 func runBench(args []string) int {
 	fs := flag.NewFlagSet("hotpaths bench", flag.ExitOnError)
 	var (
@@ -26,6 +27,7 @@ func runBench(args []string) int {
 		run        = fs.String("run", "", "comma-separated subset of benches to run (default: all)")
 		list       = fs.Bool("list", false, "list bench names and exit")
 		quiet      = fs.Bool("q", false, "suppress per-bench progress on stderr")
+		paper      = fs.String("paper", "", "also regenerate the paper_accuracy accuracy-vs-communication curve to this file (deterministic; empty disables)")
 	)
 	fs.Parse(args)
 
@@ -52,6 +54,20 @@ func runBench(args []string) int {
 			return 2
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d benches to %s\n", len(rep.Points), *out)
+	}
+
+	if *paper != "" {
+		prep, err := bench.RunPaper(!*quiet)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hotpaths bench:", err)
+			return 2
+		}
+		if err := prep.WriteFile(*paper); err != nil {
+			fmt.Fprintln(os.Stderr, "hotpaths bench:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "wrote paper_accuracy curve (%d eps points) to %s\n",
+			len(prep.Points), *paper)
 	}
 
 	if *baseline != "" {

@@ -6,7 +6,10 @@
 //
 //	hotpaths [-n 20000] [-eps 10] [-w 100] [-epoch 10] [-duration 250]
 //	         [-k 10] [-agility 0.1] [-step 10] [-err 1] [-seed 1]
-//	         [-net network.txt] [-iid] [-dp] [-quiet]
+//	         [-net network.txt] [-iid] [-dp] [-quiet] [-log-format text|json]
+//
+// Results print to stdout; diagnostics go to stderr through log/slog in
+// the format -log-format selects.
 //
 // Without -net, the synthetic Athens-like network is generated from the
 // seed. Alternatively, -trace replays a recorded measurement trace (as
@@ -49,6 +52,10 @@
 //
 //	hotpaths bench [-out BENCH_core.json] [-baseline BENCH_core.json]
 //	               [-max-regress 0.25] [-run name,...] [-list] [-q]
+//	               [-paper BENCH_paper.json]
+//
+// -paper additionally regenerates the paper's accuracy-vs-communication
+// curve (deterministic under the fixed seed) as a separate artifact.
 package main
 
 import (
@@ -57,6 +64,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -69,6 +77,7 @@ import (
 	"hotpaths/internal/simulation"
 	"hotpaths/internal/stats"
 	"hotpaths/internal/trace"
+	"hotpaths/internal/tracing"
 	"hotpaths/internal/trajectory"
 	"hotpaths/internal/wal"
 	"hotpaths/internal/workload"
@@ -105,8 +114,14 @@ func main() {
 		iid       = flag.Bool("iid", false, "use the literal i.i.d. agility model instead of traffic lights")
 		runDP     = flag.Bool("dp", false, "also run the DP benchmark")
 		quiet     = flag.Bool("quiet", false, "suppress per-epoch rows")
+		logFmt    = flag.String("log-format", "text", "diagnostic log format: text or json (results stay on stdout)")
 	)
 	flag.Parse()
+
+	if err := tracing.SetupSlog(*logFmt, "hotpaths"); err != nil {
+		fmt.Fprintln(os.Stderr, "hotpaths:", err)
+		os.Exit(1)
+	}
 
 	if *walTail != "" {
 		if err := tailWAL(*walTail, *tailFrom); err != nil {
@@ -487,6 +502,6 @@ func loadNetwork(path string, seed int64) (*roadnet.Network, error) {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "hotpaths:", err)
+	slog.Error("run failed", "error", err)
 	os.Exit(1)
 }

@@ -7,6 +7,7 @@
 //	          [-k 10] [-shards 0] [-buffer 256] [-grid 64]
 //	          [-bounds 0,0,16000,16000] [-snapshot paths.geojson]
 //	          [-wal DIR] [-fsync 25ms] [-pprof localhost:6060]
+//	          [-log-format text|json] [-trace-sample 0.01] [-trace-slow 250ms]
 //	hotpathsd -follow http://primary:8080 [-addr :8081] [-shards 0]
 //	          [-buffer 256] [-max-lag 100000]
 //
@@ -31,9 +32,20 @@
 //	POST /admin/reconnect   -follow only: drop and re-establish the stream
 //
 // With -pprof ADDR a second, admin-only listener serves net/http/pprof
-// under /debug/pprof/ plus another /metrics mount. Profiling endpoints
-// never appear on the public port; bind the admin listener to localhost
-// or a management network.
+// under /debug/pprof/, another /metrics mount, and the distributed-tracing
+// ring: GET /debug/traces lists recently completed traces and
+// GET /debug/traces/{id} returns every span this process recorded for one
+// trace ID (spans of the same request on other fleet members are fetched
+// from their admin listeners under the same ID). Debug endpoints never
+// appear on the public port; bind the admin listener to localhost or a
+// management network.
+//
+// Tracing is sampled: -trace-sample RATE records that fraction of
+// requests (continued traceparent decisions from a gateway always win),
+// and -trace-slow DURATION force-records any request slower than the
+// threshold and logs it with its trace_id. Logs are structured (log/slog);
+// -log-format selects text (default) or json, and request-scoped lines
+// carry trace_id/span_id so logs and traces cross-reference.
 //
 // With -wal DIR the daemon journals every observation and tick to a
 // write-ahead log before applying it, checkpoints the full engine state
@@ -93,6 +105,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"os"
@@ -103,6 +116,7 @@ import (
 	"time"
 
 	"hotpaths"
+	"hotpaths/internal/tracing"
 )
 
 func main() {
@@ -130,11 +144,23 @@ func run() int {
 		segBytes = flag.Int64("wal-segment", 0, "WAL segment rotation size in bytes (with -wal; 0 = 64 MiB default)")
 		follow   = flag.String("follow", "", "primary base URL: run as a read-only replica of that hotpathsd (e.g. http://primary:8080)")
 		maxLag   = flag.Uint64("max-lag", 100_000, "with -follow: /healthz degrades once the follower lags this many records behind the primary (0 disables)")
-		pprof    = flag.String("pprof", "", "admin listen address (e.g. localhost:6060) serving net/http/pprof and /metrics; empty disables it")
+		pprof    = flag.String("pprof", "", "admin listen address (e.g. localhost:6060) serving net/http/pprof, /metrics and /debug/traces; empty disables it")
 		partID   = flag.Int("partition-id", 0, "with -partition-count: this daemon's partition slot (0-based)")
 		partN    = flag.Int("partition-count", 0, "run as partition -partition-id of this many primaries behind a hotpathsgw gateway; 0 = unpartitioned")
+		logFmt   = flag.String("log-format", "text", "log output format: text or json")
+		trSample = flag.Float64("trace-sample", 0, "fraction of requests to trace in [0,1]; sampled traces are kept in the /debug/traces ring")
+		trSlow   = flag.Duration("trace-slow", 0, "force-trace and log any request slower than this (0 disables); works even with -trace-sample 0")
 	)
 	flag.Parse()
+
+	if err := tracing.SetupSlog(*logFmt, "hotpathsd"); err != nil {
+		fmt.Fprintf(os.Stderr, "hotpathsd: %v\n", err)
+		return 1
+	}
+	if *trSample < 0 || *trSample > 1 {
+		return fail(fmt.Errorf("-trace-sample must be in [0,1], got %g", *trSample))
+	}
+	tracing.Default.Configure("hotpathsd", *trSample, *trSlow)
 
 	if *partN < 0 {
 		return fail(errors.New("-partition-count must be non-negative"))
@@ -182,8 +208,11 @@ func run() int {
 		}
 		src, drain = fol, fol.Close
 		rs := fol.Replication()
-		logf("following %s: bootstrapped at lsn %d (epoch %d), config %+v",
-			*follow, rs.AppliedLSN, rs.AppliedEpoch, fol.Config())
+		slog.Info("following primary",
+			"primary", *follow,
+			"lsn", rs.AppliedLSN,
+			"epoch", rs.AppliedEpoch,
+			"config", fmt.Sprintf("%+v", fol.Config()))
 	} else if *walDir != "" {
 		dur, err = hotpaths.OpenDurable(*walDir, hotpaths.DurableConfig{
 			Config:        cfg,
@@ -198,8 +227,11 @@ func run() int {
 		}
 		src, drain = dur, dur.Close
 		ws := dur.WAL()
-		logf("wal open in %s: %d records, replayed %d, last checkpoint lsn %d",
-			*walDir, ws.NextLSN, ws.Replayed, ws.LastCheckpointLSN)
+		slog.Info("wal open",
+			"dir", *walDir,
+			"records", ws.NextLSN,
+			"replayed", ws.Replayed,
+			"checkpoint_lsn", ws.LastCheckpointLSN)
 	} else {
 		eng, err := hotpaths.NewEngine(hotpaths.EngineConfig{
 			Config: cfg,
@@ -249,13 +281,17 @@ func run() int {
 				errc <- fmt.Errorf("admin listener: %w", err)
 			}
 		}()
-		logf("admin (pprof + metrics) on %s", *pprof)
+		slog.Info("admin listener up (pprof + metrics + traces)", "addr", *pprof)
 	}
 	// Log the resolved config, not the flags: a follower adopts the
 	// primary's journal parameters and ignores the local pipeline flags.
 	rcfg := src.Config()
-	logf("listening on %s (%d shards, eps=%g, w=%d, epoch=%d)",
-		*addr, src.Shards(), rcfg.Eps, rcfg.W, rcfg.Epoch)
+	slog.Info("listening",
+		"addr", *addr,
+		"shards", src.Shards(),
+		"eps", rcfg.Eps,
+		"w", rcfg.W,
+		"epoch", rcfg.Epoch)
 
 	select {
 	case err := <-errc:
@@ -268,33 +304,35 @@ func run() int {
 	// Graceful drain: stop accepting, finish in-flight requests, then
 	// drain the ingestion shards (checkpointing and closing the WAL when
 	// enabled) and snapshot the final state.
-	logf("shutting down")
+	slog.Info("shutting down")
 	code := 0
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
-		logf("http shutdown: %v", err)
+		slog.Error("http shutdown failed", "error", err)
 	}
 	if admin != nil {
 		if err := admin.Shutdown(shutCtx); err != nil {
-			logf("admin shutdown: %v", err)
+			slog.Error("admin shutdown failed", "error", err)
 		}
 	}
 	if err := drain(); err != nil {
-		logf("drain: %v", err)
+		slog.Error("drain failed", "error", err)
 		code = 1
 	}
 	if *snapshot != "" {
 		if err := writeSnapshot(*snapshot, src); err != nil {
-			logf("snapshot: %v", err)
+			slog.Error("snapshot failed", "error", err)
 			code = 1
 		} else {
-			logf("snapshot written to %s", *snapshot)
+			slog.Info("snapshot written", "path", *snapshot)
 		}
 	}
 	st := src.Stats()
-	logf("final: %d observations, %d reports, %d live paths",
-		st.Observations, st.Reports, st.IndexSize)
+	slog.Info("final state",
+		"observations", st.Observations,
+		"reports", st.Reports,
+		"live_paths", st.IndexSize)
 	return code
 }
 
@@ -337,11 +375,7 @@ func parseBounds(s string) (hotpaths.Rect, error) {
 	}, nil
 }
 
-func logf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "hotpathsd: "+format+"\n", args...)
-}
-
 func fail(err error) int {
-	logf("%v", err)
+	slog.Error("startup failed", "error", err)
 	return 1
 }

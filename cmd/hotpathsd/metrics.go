@@ -1,19 +1,26 @@
 package main
 
 import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"time"
 
 	"hotpaths/internal/metrics"
+	"hotpaths/internal/tracing"
 )
 
-// adminHandler is the -pprof listener's mux: the profiling endpoints plus
-// a second /metrics mount, kept off the public port so profiling is
-// opt-in and never internet-facing by accident.
+// adminHandler is the -pprof listener's mux: the profiling endpoints, a
+// second /metrics mount, and the completed-trace ring under /debug/traces
+// — all kept off the public port so the debug surface is opt-in and never
+// internet-facing by accident.
 func adminHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("GET /metrics", metrics.Handler())
+	tracing.Default.RegisterDebug(mux)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -57,7 +64,9 @@ func instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 // statusRecorder captures the response status for the class counters. It
 // implements Flusher unconditionally so the SSE /watch and /wal/stream
 // handlers — which type-assert their writer — keep streaming through the
-// wrapper.
+// wrapper, and forwards Hijacker/ReaderFrom to the underlying writer when
+// it supports them (connection takeover and sendfile keep working behind
+// the middleware stack).
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
@@ -81,4 +90,23 @@ func (r *statusRecorder) Flush() {
 	if f, ok := r.ResponseWriter.(http.Flusher); ok {
 		f.Flush()
 	}
+}
+
+func (r *statusRecorder) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	if hj, ok := r.ResponseWriter.(http.Hijacker); ok {
+		return hj.Hijack()
+	}
+	return nil, nil, fmt.Errorf("hotpathsd: underlying ResponseWriter does not support hijacking")
+}
+
+func (r *statusRecorder) ReadFrom(src io.Reader) (int64, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	if rf, ok := r.ResponseWriter.(io.ReaderFrom); ok {
+		return rf.ReadFrom(src)
+	}
+	// Strip ReadFrom from the destination or io.Copy would recurse right
+	// back into this method.
+	return io.Copy(struct{ io.Writer }{r.ResponseWriter}, src)
 }

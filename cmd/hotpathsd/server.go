@@ -2,9 +2,11 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -14,14 +16,16 @@ import (
 	"hotpaths"
 	"hotpaths/internal/metrics"
 	"hotpaths/internal/partition"
+	"hotpaths/internal/tracing"
 )
 
 // backend is the ingestion and query surface the server drives: the bare
 // concurrent Engine, or the Durable wrapper when -wal is set. Both are
-// safe for concurrent use.
+// safe for concurrent use. The write methods take the request context so
+// the engine/WAL layers can hang their spans off the request's trace.
 type backend interface {
-	ObserveBatch(batch []hotpaths.Observation) error
-	Tick(now int64) error
+	ObserveBatchCtx(ctx context.Context, batch []hotpaths.Observation) error
+	TickCtx(ctx context.Context, now int64) error
 	Snapshot() hotpaths.Snapshot
 	Stats() hotpaths.Stats
 	Clock() int64
@@ -146,25 +150,31 @@ func (s *server) invalidate() { s.gen.Add(1) }
 func (s *server) handler() http.Handler {
 	// Every route is wrapped at registration (an outer middleware cannot
 	// see which ServeMux pattern matched), so each handler's histogram and
-	// status counters are bound to its route label up front.
+	// status counters are bound to its route label up front. The tracing
+	// middleware stacks inside the metrics one: metrics always run, the
+	// tracing layer adds a server span only when the request is sampled
+	// (or continues a sampled trace) and otherwise costs one header check.
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /observe", instrument("/observe", s.handleObserve))
-	mux.HandleFunc("POST /tick", instrument("/tick", s.handleTick))
-	mux.HandleFunc("GET /topk", instrument("/topk", s.handleTopK))
-	mux.HandleFunc("GET /paths", instrument("/paths", s.handlePaths))
-	mux.HandleFunc("GET /paths.geojson", instrument("/paths.geojson", s.handleGeoJSON))
-	mux.HandleFunc("GET /stats", instrument("/stats", s.handleStats))
-	mux.HandleFunc("GET /watch", instrument("/watch", s.handleWatch))
-	mux.HandleFunc("POST /admin/checkpoint", instrument("/admin/checkpoint", s.handleCheckpoint))
-	mux.HandleFunc("GET /healthz", instrument("/healthz", s.handleHealthz))
+	wrap := func(route string, h http.HandlerFunc) http.HandlerFunc {
+		return instrument(route, tracing.Default.Middleware(route, h))
+	}
+	mux.HandleFunc("POST /observe", wrap("/observe", s.handleObserve))
+	mux.HandleFunc("POST /tick", wrap("/tick", s.handleTick))
+	mux.HandleFunc("GET /topk", wrap("/topk", s.handleTopK))
+	mux.HandleFunc("GET /paths", wrap("/paths", s.handlePaths))
+	mux.HandleFunc("GET /paths.geojson", wrap("/paths.geojson", s.handleGeoJSON))
+	mux.HandleFunc("GET /stats", wrap("/stats", s.handleStats))
+	mux.HandleFunc("GET /watch", wrap("/watch", s.handleWatch))
+	mux.HandleFunc("POST /admin/checkpoint", wrap("/admin/checkpoint", s.handleCheckpoint))
+	mux.HandleFunc("GET /healthz", wrap("/healthz", s.handleHealthz))
 	mux.Handle("GET /metrics", instrument("/metrics", metrics.Handler().ServeHTTP))
 	if s.repl != nil {
 		// The primary-side replication feed: followers bootstrap from the
 		// checkpoint and tail the WAL as a long-lived frame stream.
-		mux.Handle("/wal/", instrument("/wal/", s.repl.ServeHTTP))
+		mux.Handle("/wal/", wrap("/wal/", s.repl.ServeHTTP))
 	}
 	if s.fol != nil {
-		mux.HandleFunc("POST /admin/reconnect", instrument("/admin/reconnect", s.handleReconnect))
+		mux.HandleFunc("POST /admin/reconnect", wrap("/admin/reconnect", s.handleReconnect))
 	}
 	return mux
 }
@@ -242,14 +252,14 @@ func (s *server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		}
 		batch[i] = o.Observation()
 	}
-	if err := s.src.ObserveBatch(batch); err != nil {
+	if err := s.src.ObserveBatchCtx(r.Context(), batch); err != nil {
 		httpError(w, s.writeErrStatus(), err)
 		return
 	}
 	s.invalidate()
 	resp := map[string]any{"accepted": len(batch)}
 	if req.Tick > 0 {
-		err := s.src.Tick(req.Tick)
+		err := s.src.TickCtx(r.Context(), req.Tick)
 		s.invalidate()
 		if err != nil {
 			// The batch was already ingested; report that alongside the
@@ -285,7 +295,7 @@ func (s *server) handleTick(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	err := s.src.Tick(req.Now)
+	err := s.src.TickCtx(r.Context(), req.Now)
 	s.invalidate()
 	if err != nil {
 		httpError(w, s.writeErrStatus(), err)
@@ -399,7 +409,7 @@ func (s *server) handleGeoJSON(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/geo+json")
 	if _, err := buf.WriteTo(w); err != nil {
 		// The client went away mid-response; nothing left to salvage.
-		logf("write geojson: %v", err)
+		slog.Warn("write geojson failed", append([]any{"error", err}, tracing.LogAttrs(r.Context())...)...)
 	}
 }
 
@@ -637,7 +647,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		logf("write response: %v", err)
+		slog.Warn("write response failed", "error", err)
 	}
 }
 

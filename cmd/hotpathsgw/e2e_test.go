@@ -213,18 +213,24 @@ func TestGatewayE2E(t *testing.T) {
 		"-bounds", "-100,-100,2000,2000"}
 	parts := make([]*daemon, e2ePartitions)
 	urls := make([]string, e2ePartitions)
+	partAdmins := make([]string, e2ePartitions)
 	for i := range parts {
+		partAdmins[i] = freeAddr(t)
 		args := append([]string{
 			"-wal", filepath.Join(t.TempDir(), "wal"),
 			"-fsync", "1ms",
 			"-partition-count", fmt.Sprint(e2ePartitions),
 			"-partition-id", fmt.Sprint(i),
+			"-pprof", partAdmins[i],
+			"-trace-sample", "1",
 		}, pipeline...)
 		parts[i] = startDaemon(t, fmt.Sprintf("partition-%d", i), hotpathsd, args...)
 		urls[i] = parts[i].base
 	}
+	gwAdmin := freeAddr(t)
 	gw := startDaemon(t, "gateway", hotpathsgw,
-		"-partitions", strings.Join(urls, ","), "-k", "10", "-probe", "25ms")
+		"-partitions", strings.Join(urls, ","), "-k", "10", "-probe", "25ms",
+		"-pprof", gwAdmin, "-trace-sample", "1")
 	ref := startDaemon(t, "reference", hotpathsd, pipeline...)
 
 	waitHealth := func(want int) {
@@ -342,6 +348,15 @@ func TestGatewayE2E(t *testing.T) {
 		}
 	}
 
+	// Distributed tracing: one write through the gateway must produce ONE
+	// trace — a known ID minted here, continued by the gateway's root
+	// span, propagated to every partition leg, and retrievable from every
+	// process's /debug/traces ring. The traced tick lands on an epoch
+	// boundary so the partitions' engine.tick spans fire too.
+	tick = (tick/10 + 1) * 10
+	checkDistributedTrace(t, gw, gwAdmin, parts, partAdmins, tick)
+	tick++
+
 	// Misrouted writes die at the daemon, not in silent state forks: an
 	// observation sent directly to the wrong partition is rejected.
 	wrong := lanes[0][0] // owned by partition 0
@@ -356,6 +371,124 @@ func TestGatewayE2E(t *testing.T) {
 		d.stop(syscall.SIGTERM)
 		if code := d.cmd.ProcessState.ExitCode(); code != 0 {
 			t.Errorf("%s exited %d; logs:\n%s", d.name, code, d.logs)
+		}
+	}
+}
+
+// e2eSpan mirrors the /debug/traces/{id} span JSON.
+type e2eSpan struct {
+	TraceID  string         `json:"trace_id"`
+	SpanID   string         `json:"span_id"`
+	ParentID string         `json:"parent_id"`
+	Name     string         `json:"name"`
+	Attrs    map[string]any `json:"attrs"`
+}
+
+// fetchTrace polls an admin listener's /debug/traces/{id} until the trace
+// is committed (commits land just after the response is sent, so the
+// first poll can legitimately race it).
+func fetchTrace(t *testing.T, admin, id string) []e2eSpan {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get("http://" + admin + "/debug/traces/" + id)
+		if err == nil && resp.StatusCode == http.StatusOK {
+			var detail struct {
+				Spans []e2eSpan `json:"spans"`
+			}
+			err := json.NewDecoder(resp.Body).Decode(&detail)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatalf("decode trace from %s: %v", admin, err)
+			}
+			return detail.Spans
+		}
+		if err == nil {
+			resp.Body.Close()
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %s never appeared on %s (last err %v)", id, admin, err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// checkDistributedTrace sends one traced write through the gateway and
+// asserts the whole fleet agrees on the trace: the gateway continues the
+// minted trace ID, opens one child span per partition leg, and every
+// partition's ring holds its server, engine and WAL spans under the same
+// ID, parent-linked to a gateway leg.
+func checkDistributedTrace(t *testing.T, gw *daemon, gwAdmin string, parts []*daemon, partAdmins []string, tick int64) {
+	t.Helper()
+	const traceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	traceparent := "00-" + traceID + "-00f067aa0ba902b7-01"
+
+	var buf bytes.Buffer
+	req := observeReq{Observations: e2eBatch(e2eLanes(), tick), Tick: tick}
+	if err := json.NewEncoder(&buf).Encode(req); err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, gw.base+"/observe_batch", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("traceparent", traceparent)
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced observe_batch: %d %s\nlogs:\n%s", resp.StatusCode, b, gw.logs)
+	}
+
+	// Gateway half: the /observe_batch root continuing the minted ID, plus
+	// one leg per partition for the batch and one per partition for the
+	// epoch-barrier tick that rode along.
+	gwSpans := fetchTrace(t, gwAdmin, traceID)
+	legIDs := map[string]bool{}
+	var sawRoot bool
+	for _, s := range gwSpans {
+		if s.TraceID != traceID {
+			t.Fatalf("gateway span %s carries trace %s, want %s", s.Name, s.TraceID, traceID)
+		}
+		switch s.Name {
+		case "/observe_batch":
+			sawRoot = true
+		case "partition.leg":
+			legIDs[s.SpanID] = true
+		}
+	}
+	if !sawRoot {
+		t.Fatalf("gateway trace has no /observe_batch root span: %+v", gwSpans)
+	}
+	if len(legIDs) != 2*len(parts) {
+		t.Fatalf("gateway trace has %d partition legs, want %d (observe+tick per partition): %+v",
+			len(legIDs), 2*len(parts), gwSpans)
+	}
+
+	// Partition halves: every process holds its server, engine and WAL
+	// spans under the same ID, parented by one of the gateway's legs.
+	for i, admin := range partAdmins {
+		spans := fetchTrace(t, admin, traceID)
+		names := map[string]int{}
+		for _, s := range spans {
+			if s.TraceID != traceID {
+				t.Fatalf("partition %d span %s carries trace %s, want %s", i, s.Name, s.TraceID, traceID)
+			}
+			names[s.Name]++
+			if s.Name == "/observe" || s.Name == "/tick" {
+				if !legIDs[s.ParentID] {
+					t.Fatalf("partition %d %s span parent %q is not a gateway leg", i, s.Name, s.ParentID)
+				}
+			}
+		}
+		for _, want := range []string{"/observe", "engine.observe_batch", "/tick", "engine.tick", "wal.append"} {
+			if names[want] == 0 {
+				t.Fatalf("partition %d trace is missing a %s span; got %v", i, want, names)
+			}
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package hotpaths
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"hotpaths/internal/engine"
+	"hotpaths/internal/tracing"
 	"hotpaths/internal/wal"
 )
 
@@ -245,7 +247,7 @@ func OpenDurable(dir string, cfg DurableConfig) (*Durable, error) {
 	if replayed > 0 && cfg.CheckpointEvery >= 0 {
 		// Re-checkpoint after a non-trivial replay so the next recovery
 		// starts from here instead of paying the same replay again.
-		if err := d.checkpointLocked(); err != nil {
+		if err := d.checkpointLocked(context.Background()); err != nil {
 			d.closeSource()
 			log.Close()
 			return nil, err
@@ -436,6 +438,13 @@ func (d *Durable) ObserveNoisy(objectID int, x, y, sigmaX, sigmaY float64, t int
 // and recovers — so the journal can never silently diverge from the
 // acknowledged stream.
 func (d *Durable) ObserveBatch(batch []Observation) error {
+	return d.ObserveBatchCtx(context.Background(), batch)
+}
+
+// ObserveBatchCtx is ObserveBatch recording spans on the context's trace:
+// one wal.append span per journal write plus the engine's batch span. On
+// an unrecorded context the only cost is a context check per layer.
+func (d *Durable) ObserveBatchCtx(ctx context.Context, batch []Observation) error {
 	if len(batch) == 0 {
 		return nil
 	}
@@ -454,11 +463,15 @@ func (d *Durable) ObserveBatch(batch []Observation) error {
 	if d.closed {
 		return ErrDurableClosed
 	}
-	if _, err := d.log.AppendBatch(recs); err != nil {
+	_, wspan := tracing.StartSpan(ctx, "wal.append")
+	wspan.SetAttr("records", len(recs))
+	_, err := d.log.AppendBatch(recs)
+	wspan.End()
+	if err != nil {
 		return fmt.Errorf("hotpaths: journal batch: %w", err)
 	}
 	if d.eng != nil {
-		return d.eng.ObserveBatch(batch)
+		return d.eng.ObserveBatchCtx(ctx, batch)
 	}
 	// The System applies record-by-record — exactly how recovery replays —
 	// with per-record errors ignored, matching applyRecord.
@@ -476,15 +489,31 @@ func (d *Durable) ObserveBatch(batch []Observation) error {
 // the clock has moved CheckpointEvery timestamps past the last
 // checkpoint, the state is checkpointed and old WAL segments truncated.
 func (d *Durable) Tick(now int64) error {
+	return d.TickCtx(context.Background(), now)
+}
+
+// TickCtx is Tick recording spans on the context's trace: the journal
+// append, the engine's epoch spans, and — when this tick crosses a
+// checkpoint boundary — the checkpoint with its fsync child.
+func (d *Durable) TickCtx(ctx context.Context, now int64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
 		return ErrDurableClosed
 	}
-	if _, err := d.log.Append(wal.Record{Kind: wal.KindTick, T: now}); err != nil {
-		return fmt.Errorf("hotpaths: journal tick: %w", err)
+	_, wspan := tracing.StartSpan(ctx, "wal.append")
+	wspan.SetAttr("records", 1)
+	_, aerr := d.log.Append(wal.Record{Kind: wal.KindTick, T: now})
+	wspan.End()
+	if aerr != nil {
+		return fmt.Errorf("hotpaths: journal tick: %w", aerr)
 	}
-	err := d.source().Tick(now)
+	var err error
+	if d.eng != nil {
+		err = d.eng.TickCtx(ctx, now)
+	} else {
+		err = d.sys.Tick(now)
+	}
 	if now <= d.clock {
 		return err // clock did not advance; no epoch, no checkpoint
 	}
@@ -492,7 +521,7 @@ func (d *Durable) Tick(now int64) error {
 	d.clock = now
 	boundary := now/d.cfg.Epoch != prev/d.cfg.Epoch
 	if boundary && d.cfg.CheckpointEvery >= 0 && now-d.lastCkptClock >= d.cfg.CheckpointEvery {
-		if cerr := d.checkpointLocked(); cerr != nil {
+		if cerr := d.checkpointLocked(ctx); cerr != nil {
 			err = errors.Join(err, cerr)
 		}
 	}
@@ -540,18 +569,25 @@ func (d *Durable) Checkpoint() (uint64, error) {
 	if d.closed {
 		return 0, ErrDurableClosed
 	}
-	if err := d.checkpointLocked(); err != nil {
+	if err := d.checkpointLocked(context.Background()); err != nil {
 		return 0, err
 	}
 	return d.lastCkptLSN, nil
 }
 
 // checkpointLocked: commit the journal, dump the state, write the
-// checkpoint durably, then drop segments the checkpoint covers.
-func (d *Durable) checkpointLocked() error {
+// checkpoint durably, then drop segments the checkpoint covers. The
+// context carries the trace of the tick that crossed the checkpoint
+// boundary, so checkpoint stalls show up inside that request's trace.
+func (d *Durable) checkpointLocked(ctx context.Context) error {
 	t0 := time.Now()
-	if err := d.log.Sync(); err != nil {
-		return fmt.Errorf("hotpaths: checkpoint sync: %w", err)
+	ctx, span := tracing.StartSpan(ctx, "checkpoint")
+	defer span.End()
+	_, fspan := tracing.StartSpan(ctx, "wal.fsync")
+	serr := d.log.Sync()
+	fspan.End()
+	if serr != nil {
+		return fmt.Errorf("hotpaths: checkpoint sync: %w", serr)
 	}
 	lsn := d.log.NextLSN()
 	var st engine.State
@@ -577,6 +613,8 @@ func (d *Durable) checkpointLocked() error {
 	d.lastCkptLSN = lsn
 	d.lastCkptClock = int64(st.Clock)
 	d.ckptCount++
+	span.SetAttr("lsn", lsn)
+	span.SetAttr("bytes", len(payload))
 	mCheckpoint.ObserveSince(t0)
 	mCheckpointBytes.Observe(float64(len(payload)))
 	return nil
@@ -652,7 +690,7 @@ func (d *Durable) Close() error {
 	}
 	var errs []error
 	if d.cfg.CheckpointEvery >= 0 {
-		if err := d.checkpointLocked(); err != nil {
+		if err := d.checkpointLocked(context.Background()); err != nil {
 			errs = append(errs, err)
 		}
 	}

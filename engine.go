@@ -1,6 +1,7 @@
 package hotpaths
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -165,6 +166,13 @@ func checkObservation(i int, o Observation, delta float64) error {
 // message per shard. Order is preserved per object. The batch is
 // validated up front, so a rejected batch enqueues nothing.
 func (e *Engine) ObserveBatch(batch []Observation) error {
+	return e.ObserveBatchCtx(context.Background(), batch)
+}
+
+// ObserveBatchCtx is ObserveBatch recording spans on the context's trace
+// (one engine span per batch — never per record). Tracing-aware callers
+// like the daemon's HTTP layer use it; everyone else keeps ObserveBatch.
+func (e *Engine) ObserveBatchCtx(ctx context.Context, batch []Observation) error {
 	conv := make([]engine.Observation, len(batch))
 	for i, o := range batch {
 		if err := checkObservation(i, o, e.cfg.Delta); err != nil {
@@ -178,7 +186,7 @@ func (e *Engine) ObserveBatch(batch []Observation) error {
 			SigmaY:   o.SigmaY,
 		}
 	}
-	return e.eng.ObserveBatch(conv)
+	return e.eng.ObserveBatchCtx(ctx, conv)
 }
 
 // Tick advances the engine clock to now: the hotness window slides, and at
@@ -189,6 +197,12 @@ func (e *Engine) ObserveBatch(batch []Observation) error {
 // epoch.
 func (e *Engine) Tick(now int64) error {
 	return e.eng.Tick(trajectory.Time(now))
+}
+
+// TickCtx is Tick recording the epoch-boundary spans (engine.tick and its
+// epoch-barrier child) on the context's trace.
+func (e *Engine) TickCtx(ctx context.Context, now int64) error {
+	return e.eng.TickCtx(ctx, trajectory.Time(now))
 }
 
 // Close drains and stops the shard goroutines and closes every

@@ -37,6 +37,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -50,6 +51,7 @@ import (
 	"hotpaths/internal/motion"
 	"hotpaths/internal/partition"
 	"hotpaths/internal/raytrace"
+	"hotpaths/internal/tracing"
 	"hotpaths/internal/trajectory"
 )
 
@@ -196,9 +198,19 @@ func (e *Engine) Observe(o Observation) error {
 // per-observation errors (e.g. a non-increasing timestamp) surface from
 // the next epoch-boundary Tick.
 func (e *Engine) ObserveBatch(batch []Observation) error {
+	return e.ObserveBatchCtx(context.Background(), batch)
+}
+
+// ObserveBatchCtx is ObserveBatch recording a span on the context's trace.
+// Span granularity is one span per batch, never per record; on an
+// unrecorded context the only cost is the context check.
+func (e *Engine) ObserveBatchCtx(ctx context.Context, batch []Observation) error {
 	if len(batch) == 0 {
 		return nil
 	}
+	_, span := tracing.StartSpan(ctx, "engine.observe_batch")
+	span.SetAttr("records", len(batch))
+	defer span.End()
 	t0 := time.Now()
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -233,7 +245,14 @@ func (e *Engine) ObserveBatch(batch []Observation) error {
 // be counted in a later epoch — callers wanting the System-identical
 // schedule must order Observe-before-Tick themselves.
 func (e *Engine) Tick(now trajectory.Time) error {
-	err, view := e.tick(now)
+	return e.TickCtx(context.Background(), now)
+}
+
+// TickCtx is Tick recording spans on the context's trace: an engine.tick
+// span per epoch-boundary batch, with an engine.epoch_barrier child timing
+// the shard drain.
+func (e *Engine) TickCtx(ctx context.Context, now trajectory.Time) error {
+	err, view := e.tick(ctx, now)
 	if view != nil {
 		// Captured under the write lock, delivered outside it: the
 		// callback's fan-out work never stalls ingestion. See
@@ -253,7 +272,7 @@ type epochView struct {
 
 // tick is Tick under the write lock; a non-nil view means an epoch batch
 // was processed and OnEpoch should run with it.
-func (e *Engine) tick(now trajectory.Time) (err error, view *epochView) {
+func (e *Engine) tick(ctx context.Context, now trajectory.Time) (err error, view *epochView) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
@@ -269,12 +288,18 @@ func (e *Engine) tick(now trajectory.Time) (err error, view *epochView) {
 		return nil, nil
 	}
 	tEpoch := time.Now()
+	ctx, span := tracing.StartSpan(ctx, "engine.tick")
+	span.SetAttr("now", int64(now))
+	defer span.End()
 	depth := 0
 	for _, s := range e.shards {
 		depth += len(s.ch)
 	}
 	mQueueDepth.Set(int64(depth))
+	_, barrier := tracing.StartSpan(ctx, "engine.epoch_barrier")
+	barrier.SetAttr("queue_depth", depth)
 	e.drainLocked()
+	barrier.End()
 	mBarrier.ObserveSince(tEpoch)
 	defer func() {
 		mEpochs.Inc()
@@ -303,6 +328,8 @@ func (e *Engine) tick(now trajectory.Time) (err error, view *epochView) {
 		batch = append(batch, tr.rep)
 	}
 	resps, perr := e.coord.ProcessEpoch(batch)
+	span.SetAttr("reports", len(batch))
+	span.SetAttr("responses", len(resps))
 	e.staged = e.staged[:0]
 	e.followUps = nil
 	if perr != nil {

@@ -53,6 +53,7 @@ import (
 	"hotpaths"
 	"hotpaths/internal/metrics"
 	"hotpaths/internal/partition"
+	"hotpaths/internal/tracing"
 )
 
 // Config parameterises a Gateway.
@@ -114,7 +115,8 @@ type part struct {
 	url string
 
 	reqHist *metrics.Histogram
-	healthG *metrics.Gauge
+	upG     *metrics.Gauge
+	failC   *metrics.Counter
 
 	mu      sync.Mutex
 	checked bool // at least one probe round completed
@@ -136,8 +138,10 @@ func (p *part) setHealth(healthy bool, err string, epoch, clock int64) {
 	v := int64(0)
 	if healthy {
 		v = 1
+	} else {
+		p.failC.Inc()
 	}
-	p.healthG.Set(v)
+	p.upG.Set(v)
 }
 
 // Gateway routes writes to partition owners and merges reads across the
@@ -189,8 +193,10 @@ func New(cfg Config) (*Gateway, error) {
 			url: strings.TrimRight(pt.URL, "/"),
 			reqHist: metrics.Default.Histogram("hotpathsgw_partition_request_seconds",
 				"Sub-request duration by partition.", metrics.LatencyBuckets, label),
-			healthG: metrics.Default.Gauge("hotpathsgw_partition_healthy",
+			upG: metrics.Default.Gauge("hotpathsgw_partition_up",
 				"1 while the partition's last probe succeeded.", label),
+			failC: metrics.Default.Counter("hotpathsgw_partition_probe_failures_total",
+				"Probe rounds that found the partition unhealthy.", label),
 		})
 	}
 	mPartitions.Set(int64(len(g.parts)))
@@ -214,15 +220,20 @@ func (g *Gateway) Close() {
 // endpoints (routed/merged), /stats, /healthz and /metrics.
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /observe", g.instrument("/observe", g.handleObserve))
-	mux.HandleFunc("POST /observe_batch", g.instrument("/observe_batch", g.handleObserve))
-	mux.HandleFunc("POST /tick", g.instrument("/tick", g.handleTick))
-	mux.HandleFunc("GET /topk", g.instrument("/topk", g.handleTopK))
-	mux.HandleFunc("GET /paths", g.instrument("/paths", g.handlePaths))
-	mux.HandleFunc("GET /paths.geojson", g.instrument("/paths.geojson", g.handleGeoJSON))
-	mux.HandleFunc("GET /watch", g.instrument("/watch", g.handleWatch))
-	mux.HandleFunc("GET /stats", g.instrument("/stats", g.handleStats))
-	mux.HandleFunc("GET /healthz", g.instrument("/healthz", g.handleHealthz))
+	// Metrics outermost, tracing inside: the histogram sees the whole
+	// request, the root span starts before any partition leg.
+	wrap := func(route string, h http.HandlerFunc) http.HandlerFunc {
+		return g.instrument(route, tracing.Default.Middleware(route, h))
+	}
+	mux.HandleFunc("POST /observe", wrap("/observe", g.handleObserve))
+	mux.HandleFunc("POST /observe_batch", wrap("/observe_batch", g.handleObserve))
+	mux.HandleFunc("POST /tick", wrap("/tick", g.handleTick))
+	mux.HandleFunc("GET /topk", wrap("/topk", g.handleTopK))
+	mux.HandleFunc("GET /paths", wrap("/paths", g.handlePaths))
+	mux.HandleFunc("GET /paths.geojson", wrap("/paths.geojson", g.handleGeoJSON))
+	mux.HandleFunc("GET /watch", wrap("/watch", g.handleWatch))
+	mux.HandleFunc("GET /stats", wrap("/stats", g.handleStats))
+	mux.HandleFunc("GET /healthz", wrap("/healthz", g.handleHealthz))
 	mux.Handle("GET /metrics", g.instrument("/metrics", metrics.Handler().ServeHTTP))
 	return mux
 }
@@ -230,38 +241,53 @@ func (g *Gateway) Handler() http.Handler {
 // ---- partition sub-requests ----------------------------------------------
 
 // do runs one sub-request against a partition with the configured
-// deadline, recording its latency.
+// deadline, recording its latency. When the caller's context carries a
+// sampled trace, the leg gets its own child span — ended when the caller
+// closes the body, so body-read time counts — and the trace context is
+// propagated to the partition in the traceparent header.
 func (g *Gateway) do(ctx context.Context, p *part, method, path string, body []byte) (*http.Response, error) {
 	ctx, cancel := context.WithTimeout(ctx, g.cfg.RequestTimeout)
+	ctx, span := tracing.StartSpan(ctx, "partition.leg")
+	span.SetAttr("partition", p.id)
+	span.SetAttr("http.method", method)
+	span.SetAttr("http.path", path)
+	done := func() {
+		span.End()
+		cancel()
+	}
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, p.url+path, rd)
 	if err != nil {
-		cancel()
+		done()
 		return nil, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	tracing.Inject(ctx, req.Header)
 	mInflight.Add(1)
 	t0 := time.Now()
 	resp, err := g.client.Do(req)
 	p.reqHist.ObserveSince(t0)
 	mInflight.Add(-1)
 	if err != nil {
-		cancel()
+		span.Annotate("leg failed: %v", err)
+		done()
 		return nil, err
 	}
-	// Tie the deadline to the body: the caller just reads and closes.
-	resp.Body = &cancelBody{ReadCloser: resp.Body, cancel: cancel}
+	span.SetAttr("http.status", resp.StatusCode)
+	// Tie the deadline (and the leg span) to the body: the caller just
+	// reads and closes.
+	resp.Body = &cancelBody{ReadCloser: resp.Body, cancel: done}
 	return resp, nil
 }
 
 type cancelBody struct {
 	io.ReadCloser
-	cancel context.CancelFunc
+	cancel func()
 }
 
 func (b *cancelBody) Close() error {
@@ -378,6 +404,8 @@ func (g *Gateway) gather(ctx context.Context) (merged *mergedView, missing []par
 		if len(stale) == 0 {
 			break
 		}
+		tracing.FromContext(ctx).Annotate(
+			"alignment retry %d: %d partitions behind epoch %d", retry+1, len(stale), target)
 		select {
 		case <-ctx.Done():
 			stale = nil

@@ -1,6 +1,10 @@
 package gateway
 
 import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"time"
 
@@ -52,7 +56,9 @@ func (g *Gateway) instrument(route string, h http.HandlerFunc) http.HandlerFunc 
 
 // statusRecorder captures the response status for the class counters. It
 // implements Flusher unconditionally so the SSE /watch fan-in — which
-// type-asserts its writer — keeps streaming through the wrapper.
+// type-asserts its writer — keeps streaming through the wrapper, and
+// forwards Hijacker/ReaderFrom to the underlying writer when it supports
+// them.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
@@ -76,4 +82,23 @@ func (r *statusRecorder) Flush() {
 	if f, ok := r.ResponseWriter.(http.Flusher); ok {
 		f.Flush()
 	}
+}
+
+func (r *statusRecorder) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	if hj, ok := r.ResponseWriter.(http.Hijacker); ok {
+		return hj.Hijack()
+	}
+	return nil, nil, fmt.Errorf("hotpathsgw: underlying ResponseWriter does not support hijacking")
+}
+
+func (r *statusRecorder) ReadFrom(src io.Reader) (int64, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	if rf, ok := r.ResponseWriter.(io.ReaderFrom); ok {
+		return rf.ReadFrom(src)
+	}
+	// Strip ReadFrom from the destination or io.Copy would recurse right
+	// back into this method.
+	return io.Copy(struct{ io.Writer }{r.ResponseWriter}, src)
 }

@@ -1,0 +1,32 @@
+package tracing
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+)
+
+// SetupSlog installs the process-wide slog default used by the hotpaths
+// binaries: a text or JSON handler on stderr stamped with the service
+// name. format accepts "text" (the default when empty) or "json".
+// Request-scoped call sites add LogAttrs(ctx) so log lines carry the
+// trace_id/span_id of the request that emitted them.
+func SetupSlog(format, service string) error {
+	return setupSlog(os.Stderr, format, service)
+}
+
+func setupSlog(w io.Writer, format, service string) error {
+	opts := &slog.HandlerOptions{Level: slog.LevelInfo}
+	var h slog.Handler
+	switch format {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return fmt.Errorf("tracing: unknown log format %q (want text or json)", format)
+	}
+	slog.SetDefault(slog.New(h).With("service", service))
+	return nil
+}

@@ -1,0 +1,109 @@
+package tracing
+
+import (
+	"context"
+	"encoding/hex"
+	"net/http"
+)
+
+// Header is the W3C trace-context propagation header.
+const Header = "traceparent"
+
+// formatTraceparent renders a version-00 traceparent:
+// 00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>.
+func formatTraceparent(tid TraceID, sid SpanID, sampled bool) string {
+	buf := make([]byte, 0, 55)
+	buf = append(buf, '0', '0', '-')
+	buf = hex.AppendEncode(buf, tid[:])
+	buf = append(buf, '-')
+	buf = hex.AppendEncode(buf, sid[:])
+	if sampled {
+		buf = append(buf, '-', '0', '1')
+	} else {
+		buf = append(buf, '-', '0', '0')
+	}
+	return string(buf)
+}
+
+// parseTraceparent parses a traceparent header value. ok is false — and the
+// caller must mint a fresh root — when the header is absent, malformed,
+// carries the forbidden version 0xff, or names an all-zero trace or parent
+// ID. Per the spec, versions above 00 are parsed by the version-00 prefix
+// rule: at least 55 chars, and any extra content must start with '-'.
+func parseTraceparent(s string) (tid TraceID, parent SpanID, sampled, ok bool) {
+	if len(s) < 55 {
+		return tid, parent, false, false
+	}
+	ver, e := hexByte(s[0], s[1])
+	if e != nil || ver == 0xff {
+		return tid, parent, false, false
+	}
+	if ver == 0 && len(s) != 55 {
+		return tid, parent, false, false
+	}
+	if len(s) > 55 && s[55] != '-' {
+		return tid, parent, false, false
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return tid, parent, false, false
+	}
+	// The spec mandates lowercase hex throughout (hex.Decode would also
+	// accept uppercase).
+	for i := 3; i < 52; i++ {
+		if i == 35 {
+			continue
+		}
+		if _, ok := hexNibble(s[i]); !ok {
+			return tid, parent, false, false
+		}
+	}
+	if _, err := hex.Decode(tid[:], []byte(s[3:35])); err != nil {
+		return TraceID{}, parent, false, false
+	}
+	if _, err := hex.Decode(parent[:], []byte(s[36:52])); err != nil {
+		return TraceID{}, SpanID{}, false, false
+	}
+	flags, e := hexByte(s[53], s[54])
+	if e != nil {
+		return TraceID{}, SpanID{}, false, false
+	}
+	if tid.IsZero() || parent.IsZero() {
+		return TraceID{}, SpanID{}, false, false
+	}
+	return tid, parent, flags&0x01 != 0, true
+}
+
+type hexError struct{}
+
+func (hexError) Error() string { return "tracing: invalid hex digit" }
+
+func hexByte(hi, lo byte) (byte, error) {
+	h, ok1 := hexNibble(hi)
+	l, ok2 := hexNibble(lo)
+	if !ok1 || !ok2 {
+		return 0, hexError{}
+	}
+	return h<<4 | l, nil
+}
+
+func hexNibble(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	// The spec mandates lowercase hex; uppercase is malformed.
+	return 0, false
+}
+
+// Inject stamps the context's trace onto an outbound request's headers so
+// the receiving process continues the same trace. No-op on an unrecorded
+// context.
+func Inject(ctx context.Context, h http.Header) {
+	s := FromContext(ctx)
+	if s == nil {
+		return
+	}
+	h.Set(Header, formatTraceparent(s.tr.id, s.id, s.tr.sampled))
+}

@@ -12,6 +12,7 @@ import (
 
 	"hotpaths/internal/engine"
 	"hotpaths/internal/replication"
+	"hotpaths/internal/tracing"
 	"hotpaths/internal/wal"
 )
 
@@ -348,7 +349,14 @@ func (f *Follower) streamOnce(ctx context.Context) (hadConnection bool, err erro
 		if len(batch) == 0 {
 			return
 		}
-		_ = f.eng.ObserveBatch(batch)
+		// The apply loop has no inbound request to continue, so each flush
+		// is its own probabilistically sampled local-root trace — slow
+		// follower applies surface in /debug/traces like slow writes do on
+		// the primary.
+		actx, span := tracing.Default.StartRoot(context.Background(), "replication.apply")
+		span.SetAttr("records", len(batch))
+		_ = f.eng.ObserveBatchCtx(actx, batch)
+		span.End()
 		f.mu.Lock()
 		f.applied += uint64(len(batch))
 		f.mu.Unlock()
@@ -371,7 +379,10 @@ func (f *Follower) streamOnce(ctx context.Context) (hadConnection bool, err erro
 				}
 			case wal.KindTick:
 				flush()
-				_ = f.eng.Tick(rec.T)
+				actx, span := tracing.Default.StartRoot(context.Background(), "replication.tick")
+				span.SetAttr("tick", rec.T)
+				_ = f.eng.TickCtx(actx, rec.T)
+				span.End()
 				f.mu.Lock()
 				f.applied = lsn + 1
 				// Mirror the engine's epoch/clock rules instead of taking a
@@ -431,9 +442,17 @@ func (f *Follower) ObserveNoisy(objectID int, x, y, sigmaX, sigmaY float64, t in
 // ObserveBatch always returns ErrReadOnly: followers reject writes.
 func (f *Follower) ObserveBatch(batch []Observation) error { return ErrReadOnly }
 
+// ObserveBatchCtx always returns ErrReadOnly, like ObserveBatch.
+func (f *Follower) ObserveBatchCtx(ctx context.Context, batch []Observation) error {
+	return ErrReadOnly
+}
+
 // Tick always returns ErrReadOnly: the follower's clock advances by
 // applying the primary's journaled ticks.
 func (f *Follower) Tick(now int64) error { return ErrReadOnly }
+
+// TickCtx always returns ErrReadOnly, like Tick.
+func (f *Follower) TickCtx(ctx context.Context, now int64) error { return ErrReadOnly }
 
 // Snapshot captures an immutable view of the replicated hot paths,
 // counters and clock. It is served locally (no primary round-trip) and is

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	iofs "io/fs"
 	"os"
 	"strings"
 
@@ -73,7 +75,7 @@ func runBench(args []string) int {
 	if *baseline != "" {
 		base, err := bench.Load(*baseline)
 		switch {
-		case os.IsNotExist(err):
+		case errors.Is(err, iofs.ErrNotExist):
 			fmt.Fprintf(os.Stderr, "no baseline at %s; comparison skipped\n", *baseline)
 		case err != nil:
 			fmt.Fprintln(os.Stderr, "hotpaths bench:", err)

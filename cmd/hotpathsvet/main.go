@@ -1,0 +1,124 @@
+// Command hotpathsvet is the repo's contract-enforcing static-analysis
+// suite. It mechanically checks the invariants the fleet's correctness
+// rests on — typed error classification, span lifecycle, batch-granular
+// observability, lock-section discipline, and metric naming — that were
+// previously enforced only by review.
+//
+// Two modes:
+//
+//	go run ./cmd/hotpathsvet ./...                 # standalone, local use
+//	go vet -vettool=$(which hotpathsvet) ./...     # cmd/go vet-tool protocol (CI)
+//
+// Findings print in the standard vet shape (file:line:col: message) so
+// editors pick them up; the exit status is 1 when there are findings.
+// Suppress a deliberate contract exception with a reasoned directive on
+// or directly above the line:
+//
+//	//hotpathsvet:ignore locksnapshot flush barrier: queues quiesce under the lock by design
+//
+// Run with -help for the list of analyzers and the contract each one
+// enforces.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hotpaths/internal/analysis/batchclock"
+	"hotpaths/internal/analysis/errstring"
+	"hotpaths/internal/analysis/framework"
+	"hotpaths/internal/analysis/locksnapshot"
+	"hotpaths/internal/analysis/metricname"
+	"hotpaths/internal/analysis/spanend"
+)
+
+var all = []*framework.Analyzer{
+	batchclock.Analyzer,
+	errstring.Analyzer,
+	locksnapshot.Analyzer,
+	metricname.Analyzer,
+	spanend.Analyzer,
+}
+
+func main() {
+	// cmd/go probes the tool with -V=full (version for the build-cache
+	// key) and -flags (JSON list of tool flags vet should pass through)
+	// before any analysis; both must be handled before normal flag
+	// parsing since our flag set differs.
+	for _, arg := range os.Args[1:] {
+		switch arg {
+		case "-V=full", "--V=full":
+			framework.PrintVersionAndExit()
+		case "-flags", "--flags":
+			// All analyzers are always on under vet; no flags to expose.
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	fs := flag.NewFlagSet("hotpathsvet", flag.ExitOnError)
+	includeTests := fs.Bool("test", true, "also analyze _test.go files (standalone mode)")
+	enabled := make(map[string]*bool, len(all))
+	for _, a := range all {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		enabled[a.Name] = fs.Bool(a.Name, true, doc)
+	}
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: hotpathsvet [flags] [packages]\n")
+		fmt.Fprintf(fs.Output(), "   or: go vet -vettool=$(which hotpathsvet) [packages]\n\nanalyzers:\n")
+		for _, a := range all {
+			fmt.Fprintf(fs.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(fs.Output(), "\nflags:\n")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(os.Args[1:])
+
+	var analyzers []*framework.Analyzer
+	for _, a := range all {
+		if *enabled[a.Name] {
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	args := fs.Args()
+	// Under `go vet -vettool`, cmd/go invokes the tool once per package
+	// with a single *.cfg argument describing the compilation unit.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		framework.RunUnitchecker(args[0], analyzers)
+		return // unreachable: RunUnitchecker exits
+	}
+
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	pkgs, err := framework.Load(args, *includeTests)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	found := false
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", pkg.ImportPath, terr)
+			found = true
+		}
+		diags, err := framework.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+			found = true
+		}
+	}
+	if found {
+		os.Exit(1)
+	}
+}

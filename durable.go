@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sync"
@@ -173,7 +174,7 @@ func writeMeta(dir string, cfg Config) error {
 
 func readMeta(dir string) (Config, bool, error) {
 	b, err := os.ReadFile(filepath.Join(dir, metaFile))
-	if os.IsNotExist(err) {
+	if errors.Is(err, fs.ErrNotExist) {
 		return Config{}, false, nil
 	}
 	if err != nil {

@@ -256,25 +256,35 @@ type System struct {
 	subs hub
 }
 
+// A ConfigError reports one invalid Config field, rejected by New or
+// NewEngine. Callers classify it with errors.As and branch on Field —
+// never by matching the rendered message (the errstring contract).
+type ConfigError struct {
+	Field  string // the offending Config field, e.g. "Bounds"
+	Reason string // the violated constraint, including the bad value
+}
+
+func (e *ConfigError) Error() string { return "hotpaths: Config." + e.Field + " " + e.Reason }
+
 // withDefaults validates cfg and fills in the defaulted fields.
 func (cfg Config) withDefaults() (Config, error) {
 	if cfg.Eps <= 0 {
-		return cfg, fmt.Errorf("hotpaths: Config.Eps must be positive, got %v", cfg.Eps)
+		return cfg, &ConfigError{Field: "Eps", Reason: fmt.Sprintf("must be positive, got %v", cfg.Eps)}
 	}
 	if cfg.Delta < 0 || cfg.Delta >= 1 {
-		return cfg, fmt.Errorf("hotpaths: Config.Delta must be in [0,1), got %v", cfg.Delta)
+		return cfg, &ConfigError{Field: "Delta", Reason: fmt.Sprintf("must be in [0,1), got %v", cfg.Delta)}
 	}
 	if cfg.W <= 0 {
-		return cfg, fmt.Errorf("hotpaths: Config.W must be positive, got %d", cfg.W)
+		return cfg, &ConfigError{Field: "W", Reason: fmt.Sprintf("must be positive, got %d", cfg.W)}
 	}
 	if cfg.Epoch <= 0 {
-		return cfg, fmt.Errorf("hotpaths: Config.Epoch must be positive, got %d", cfg.Epoch)
+		return cfg, &ConfigError{Field: "Epoch", Reason: fmt.Sprintf("must be positive, got %d", cfg.Epoch)}
 	}
 	// NaNs fail these comparisons too, so they are rejected here rather
 	// than surfacing as an internal grid-index error.
 	if !(cfg.Bounds.Max.X > cfg.Bounds.Min.X && cfg.Bounds.Max.Y > cfg.Bounds.Min.Y) {
-		return cfg, fmt.Errorf("hotpaths: Config.Bounds must have positive area (Max > Min on both axes), got min=%v max=%v",
-			cfg.Bounds.Min, cfg.Bounds.Max)
+		return cfg, &ConfigError{Field: "Bounds", Reason: fmt.Sprintf("must have positive area (Max > Min on both axes), got min=%v max=%v",
+			cfg.Bounds.Min, cfg.Bounds.Max)}
 	}
 	if cfg.K == 0 {
 		cfg.K = 10

@@ -1,0 +1,12 @@
+package batchclock_test
+
+import (
+	"testing"
+
+	"hotpaths/internal/analysis/analyzertest"
+	"hotpaths/internal/analysis/batchclock"
+)
+
+func TestBatchclock(t *testing.T) {
+	analyzertest.Run(t, batchclock.Analyzer, "a")
+}

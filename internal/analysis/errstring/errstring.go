@@ -1,0 +1,120 @@
+// Package errstring defines an analyzer that forbids classifying errors
+// by their rendered text.
+//
+// # Contract
+//
+// Errors cross package boundaries as typed values, never as formatted
+// strings. Callers that need to branch on an error classify it with
+// errors.Is / errors.As against a sentinel or typed error; they never
+// substring-match err.Error(). Matching text is how the PR 7 gateway bug
+// happened: writeErrStatus matched "upstream status 4" inside formatted
+// strings, so a record payload containing that text — or an upstream
+// message wrapped one level deeper — misclassified the whole response.
+// The fix gave readError a typed *upstreamError and classified with
+// errors.As; this analyzer keeps that class of bug out.
+//
+// The same reasoning covers the legacy os.IsNotExist / os.IsExist /
+// os.IsPermission / os.IsTimeout predicates: they predate error wrapping
+// and test the error's concrete value without unwrapping, so any
+// fmt.Errorf("...: %w", err) wrapper defeats them. Use
+// errors.Is(err, fs.ErrNotExist) and friends instead.
+//
+// Flagged:
+//   - strings.Contains / HasPrefix / HasSuffix / EqualFold / Index /
+//     Count with any argument derived from err.Error()
+//   - == / != comparisons where either side is err.Error()
+//   - switch err.Error() { ... }
+//   - os.IsNotExist, os.IsExist, os.IsPermission, os.IsTimeout
+package errstring
+
+import (
+	"go/ast"
+	"go/token"
+
+	"hotpaths/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "errstring",
+	Doc:  "forbid classifying errors by their rendered text; require errors.Is/errors.As",
+	Run:  run,
+}
+
+// stringsMatchers are the strings-package predicates that, applied to
+// err.Error(), amount to substring classification.
+var stringsMatchers = map[string]bool{
+	"Contains":  true,
+	"HasPrefix": true,
+	"HasSuffix": true,
+	"EqualFold": true,
+	"Index":     true,
+	"Count":     true,
+}
+
+// legacyPredicates maps the pre-wrapping os predicates to their modern
+// replacement, for the diagnostic text.
+var legacyPredicates = map[string]string{
+	"IsNotExist":   "errors.Is(err, fs.ErrNotExist)",
+	"IsExist":      "errors.Is(err, fs.ErrExist)",
+	"IsPermission": "errors.Is(err, fs.ErrPermission)",
+	"IsTimeout":    "errors.Is(err, os.ErrDeadlineExceeded) or a net.Error check",
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					if framework.IsErrorErrorCall(pass.TypesInfo, n.X) || framework.IsErrorErrorCall(pass.TypesInfo, n.Y) {
+						pass.Reportf(n.Pos(), "comparing err.Error() text classifies errors by their message; use errors.Is or errors.As on a typed error")
+					}
+				}
+			case *ast.SwitchStmt:
+				if n.Tag != nil && framework.IsErrorErrorCall(pass.TypesInfo, n.Tag) {
+					pass.Reportf(n.Tag.Pos(), "switching on err.Error() text classifies errors by their message; use errors.Is or errors.As on a typed error")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *framework.Pass, call *ast.CallExpr) {
+	fn := framework.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	if stringsMatchers[fn.Name()] && framework.IsPkgFunc(fn, "strings", fn.Name()) {
+		for _, arg := range call.Args {
+			if containsErrorCall(pass, arg) {
+				pass.Reportf(call.Pos(), "strings.%s on err.Error() matches error text, which breaks when messages are wrapped or reworded; use errors.Is or errors.As on a typed error", fn.Name())
+				return
+			}
+		}
+	}
+	if repl, ok := legacyPredicates[fn.Name()]; ok && framework.IsPkgFunc(fn, "os", fn.Name()) {
+		pass.Reportf(call.Pos(), "os.%s does not unwrap wrapped errors; use %s", fn.Name(), repl)
+	}
+}
+
+// containsErrorCall reports whether any subexpression of e is an
+// err.Error() call — catching strings.Contains(err.Error(), x),
+// strings.Contains(strings.ToLower(err.Error()), x), and similar.
+func containsErrorCall(pass *framework.Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if expr, ok := n.(ast.Expr); ok && framework.IsErrorErrorCall(pass.TypesInfo, expr) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

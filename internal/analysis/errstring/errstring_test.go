@@ -1,0 +1,12 @@
+package errstring_test
+
+import (
+	"testing"
+
+	"hotpaths/internal/analysis/analyzertest"
+	"hotpaths/internal/analysis/errstring"
+)
+
+func TestErrstring(t *testing.T) {
+	analyzertest.Run(t, errstring.Analyzer, "a")
+}

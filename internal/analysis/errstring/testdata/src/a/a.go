@@ -1,0 +1,75 @@
+// Fixture for the errstring analyzer: errors are classified with
+// errors.Is / errors.As, never by matching their rendered text.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+var errGone = errors.New("gone")
+
+// The PR 7 gateway bug, verbatim: classifying an upstream failure by
+// substring-matching the formatted message. A record payload containing
+// the text — or one extra wrapping level — misclassifies the response.
+func classifyUpstream(err error) bool {
+	return strings.Contains(err.Error(), "upstream status 4") // want `strings\.Contains on err\.Error\(\)`
+}
+
+func prefixCheck(err error) bool {
+	return strings.HasPrefix(err.Error(), "hotpaths:") // want `strings\.HasPrefix on err\.Error\(\)`
+}
+
+func compareText(err error) bool {
+	return err.Error() == "gone" // want `comparing err\.Error\(\) text`
+}
+
+func switchText(err error) int {
+	switch err.Error() { // want `switching on err\.Error\(\) text`
+	case "gone":
+		return 1
+	}
+	return 0
+}
+
+// Matching survives intermediate transforms: still text classification.
+func lowered(err error) bool {
+	return strings.Contains(strings.ToLower(err.Error()), "gone") // want `strings\.Contains on err\.Error\(\)`
+}
+
+// The legacy os predicates don't unwrap, so fmt.Errorf("...: %w", err)
+// wrappers defeat them.
+func legacyPredicate(err error) bool {
+	return os.IsNotExist(err) // want `os\.IsNotExist does not unwrap wrapped errors`
+}
+
+// Allowed: sentinel classification.
+func typedIs(err error) bool { return errors.Is(err, errGone) }
+
+type statusError struct{ code int }
+
+func (e *statusError) Error() string { return fmt.Sprintf("upstream status %d", e.code) }
+
+// Allowed: typed classification — the PR 7 fix's shape.
+func typedAs(err error) (int, bool) {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.code, true
+	}
+	return 0, false
+}
+
+// Allowed: substring matching on text that is not an error message.
+func plainContains(s string) bool { return strings.Contains(s, "upstream status 4") }
+
+// Allowed: rendering the message for a log line; only branching on it
+// is classification.
+func renderForLog(err error) string { return fmt.Sprintf("failed: %s", err.Error()) }
+
+// Allowed: a reasoned suppression directive waives the finding.
+func suppressed(err error) bool {
+	//hotpathsvet:ignore errstring third-party driver returns undocumented plain errors; typed wrapper tracked separately
+	return strings.Contains(err.Error(), "busy")
+}

@@ -1,0 +1,37 @@
+package framework
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// IsSpanStart reports whether call starts a tracing span: a call to a
+// function or method named StartSpan, StartRequest or StartRoot whose
+// second result is a *Span defined in a package named "tracing".
+// Matching by shape rather than import path keeps fixture stand-ins in
+// scope alongside hotpaths/internal/tracing itself.
+func IsSpanStart(info *types.Info, call *ast.CallExpr) bool {
+	fn := Callee(info, call)
+	if fn == nil {
+		return false
+	}
+	switch fn.Name() {
+	case "StartSpan", "StartRequest", "StartRoot":
+	default:
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 2 {
+		return false
+	}
+	ptr, ok := sig.Results().At(1).Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Name() != "Span" {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Name() == "tracing"
+}

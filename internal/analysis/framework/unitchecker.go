@@ -1,0 +1,161 @@
+package framework
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// This file implements the cmd/go vet-tool protocol, so the suite runs
+// as `go vet -vettool=$(which hotpathsvet) ./...`: cmd/go type-checks
+// nothing itself — it hands the tool a JSON config file describing one
+// compilation unit (file list, import map, export-data locations) and
+// expects diagnostics on stderr with a non-zero exit when there are
+// findings. The same protocol x/tools' unitchecker speaks, reimplemented
+// here on the standard library.
+
+// VetConfig is the JSON schema cmd/go writes to the .cfg file. Field
+// names are fixed by cmd/go/internal/work.
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// PrintVersionAndExit implements the `-V=full` handshake: cmd/go hashes
+// the tool's response into the build cache key, so the output must
+// change whenever the binary does — hence the self-hash.
+func PrintVersionAndExit() {
+	progname := os.Args[0]
+	h := sha256.New()
+	if f, err := os.Open(progname); err == nil {
+		_, _ = io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, h.Sum(nil))
+	os.Exit(0)
+}
+
+// RunUnitchecker analyzes the single compilation unit described by the
+// vet config file and exits: 0 when clean, 1 with findings on stderr.
+func RunUnitchecker(cfgFile string, analyzers []*Analyzer) {
+	cfg, err := readVetConfig(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	// The suite computes no cross-package facts, but cmd/go expects the
+	// facts file to exist before it will cache the run.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("hotpathsvet: no facts\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	if cfg.VetxOnly {
+		os.Exit(0) // dependency pass: facts only, and we have none
+	}
+
+	pkg, err := checkVetUnit(cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		fmt.Fprintf(os.Stderr, "%s: %v\n", cfg.ImportPath, err)
+		os.Exit(1)
+	}
+
+	diags, err := RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+func readVetConfig(path string) (*VetConfig, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("hotpathsvet: reading vet config: %w", err)
+	}
+	cfg := new(VetConfig)
+	if err := json.Unmarshal(b, cfg); err != nil {
+		return nil, fmt.Errorf("hotpathsvet: parsing vet config %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// checkVetUnit parses and type-checks the unit from source against the
+// export data cmd/go already compiled for its imports.
+func checkVetUnit(cfg *VetConfig) (*Package, error) {
+	fset := token.NewFileSet()
+	var asts []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		exp, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	info := NewTypesInfo()
+	tpkg, _ := conf.Check(cfg.ImportPath, fset, asts, info)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return &Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Files:      asts,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}

@@ -1,0 +1,12 @@
+package locksnapshot_test
+
+import (
+	"testing"
+
+	"hotpaths/internal/analysis/analyzertest"
+	"hotpaths/internal/analysis/locksnapshot"
+)
+
+func TestLocksnapshot(t *testing.T) {
+	analyzertest.Run(t, locksnapshot.Analyzer, "a")
+}

@@ -1,0 +1,12 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"hotpaths/internal/analysis/analyzertest"
+	"hotpaths/internal/analysis/metricname"
+)
+
+func TestMetricname(t *testing.T) {
+	analyzertest.Run(t, metricname.Analyzer, "a")
+}

@@ -1,0 +1,33 @@
+// Fixture for the metricname analyzer: Prometheus naming at every
+// registration site, with kinds agreeing across sites.
+package a
+
+import "hotpaths/internal/metrics"
+
+func register(r *metrics.Registry, dyn string) {
+	// Allowed: the repo's naming contract.
+	r.Counter("requests_total", "requests served", nil)
+	r.Gauge("queue_depth", "entries currently queued", nil)
+	r.Histogram("batch_latency_seconds", "batch latency", nil, nil)
+	r.GaugeFunc("heap_bytes", "live heap size", nil, func() float64 { return 0 })
+
+	r.Counter("requests", "dropped suffix", nil)  // want `counter "requests" must end in _total`
+	r.Gauge("drops_total", "wrong suffix", nil)   // want `gauge "drops_total" must not end in _total`
+	r.Histogram("latency", "no unit", nil, nil)   // want `histogram "latency" must end in a unit suffix`
+	r.Counter("Bad-Name_total", "bad chars", nil) // want `does not match Prometheus naming`
+	r.Counter(dyn, "dynamic name", nil)           // want `metric name must be a compile-time constant`
+	r.Counter("empty_help_total", "", nil)        // want `needs a non-empty help string`
+
+	// Kind disagreement panics the registry at runtime; caught here at
+	// vet time instead. (The _total complaint rides along.)
+	r.Counter("dual_total", "first site", nil)
+	r.Gauge("dual_total", "second site", nil) // want `must not end in _total` `registered as gauge here but as counter`
+
+	// Allowed: repeat registration with the same kind is the registry's
+	// idempotent GetOrCreate contract.
+	r.Counter("requests_total", "requests served", nil)
+
+	// Allowed: a reasoned suppression directive waives the finding.
+	//hotpathsvet:ignore metricname legacy dashboard keys on this exact name; renaming is a breaking change tracked separately
+	r.Counter("legacy_request_count", "requests served (legacy name)", nil)
+}

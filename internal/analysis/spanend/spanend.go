@@ -1,0 +1,440 @@
+// Package spanend defines an analyzer that checks every tracing span
+// reaches End() on all return paths.
+//
+// # Contract
+//
+// A span returned by tracing.StartSpan, (*Tracer).StartRequest or
+// (*Tracer).StartRoot must be ended exactly once on every path out of
+// the function that started it — usually `defer span.End()` on the next
+// line. A span that is never ended reports no duration, leaks its
+// entry from the active-span set, and silently truncates the trace tree
+// under it, which is exactly the failure mode that is invisible in tests
+// and only shows up as missing spans in production traces.
+//
+// The analyzer tracks each span variable through the block structure of
+// its function. A path is considered covered when it reaches a direct
+// span.End() call, a `defer span.End()` (or a defer whose closure
+// captures the span), or when the span escapes the function — passed as
+// an argument, returned, stored in a struct or captured by a closure —
+// at which point responsibility transfers to the escapee, mirroring
+// x/tools' lostcancel. Assigning the span to `_` is reported outright.
+//
+// The analysis is deliberately biased against false positives: method
+// calls on the span (span.SetAttr(...)) and nil-comparisons are neutral,
+// any escape counts as coverage, and the nil branch of
+// `if span == nil { ... }` is a covered path (an unsampled request has
+// no span to end). _test.go files are skipped: tracing's own tests
+// create spans precisely to inspect their un-ended state.
+package spanend
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hotpaths/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "spanend",
+	Doc:  "require tracing spans to reach End() on every return path",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				findCreations(pass, body)
+			}
+			return true // keep descending: nested FuncLits analyzed separately
+		})
+	}
+	return nil
+}
+
+// findCreations walks one function body (not entering nested function
+// literals) looking for span-start statements, and tracks each resulting
+// span variable through the rest of its block.
+func findCreations(pass *framework.Pass, block *ast.BlockStmt) {
+	for i, stmt := range block.List {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			if obj, call := spanCreation(pass, s); call != nil {
+				if obj == nil {
+					pass.Reportf(call.Pos(), "span discarded with _; the span must be ended — assign it and defer its End()")
+					continue
+				}
+				t := &tracker{pass: pass, obj: obj}
+				exit, term := t.scan(block.List[i+1:], false)
+				if !exit && !term && !t.reported {
+					pass.Reportf(call.Pos(), "span %s is not ended before the function returns; defer %s.End() after starting it", obj.Name(), obj.Name())
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok && framework.IsSpanStart(pass.TypesInfo, call) {
+				pass.Reportf(call.Pos(), "span-start result discarded; the span must be ended — assign it and defer its End()")
+			}
+		}
+		// Recurse into nested control flow so creations inside branches
+		// are tracked too.
+		for _, inner := range nestedBlocks(stmt) {
+			findCreations(pass, inner)
+		}
+	}
+}
+
+// nestedBlocks returns the blocks directly nested in stmt, skipping
+// function literals (they are separate functions for this analysis).
+func nestedBlocks(stmt ast.Stmt) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		out = append(out, s)
+	case *ast.IfStmt:
+		out = append(out, s.Body)
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			out = append(out, e)
+		case *ast.IfStmt:
+			out = append(out, nestedBlocks(e)...)
+		}
+	case *ast.ForStmt:
+		out = append(out, s.Body)
+	case *ast.RangeStmt:
+		out = append(out, s.Body)
+	case *ast.SwitchStmt:
+		out = append(out, clauseBlocks(s.Body)...)
+	case *ast.TypeSwitchStmt:
+		out = append(out, clauseBlocks(s.Body)...)
+	case *ast.SelectStmt:
+		out = append(out, clauseBlocks(s.Body)...)
+	case *ast.LabeledStmt:
+		out = append(out, nestedBlocks(s.Stmt)...)
+	}
+	return out
+}
+
+func clauseBlocks(body *ast.BlockStmt) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	for _, c := range body.List {
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			out = append(out, &ast.BlockStmt{List: c.Body})
+		case *ast.CommClause:
+			out = append(out, &ast.BlockStmt{List: c.Body})
+		}
+	}
+	return out
+}
+
+// spanCreation matches `ctx, span := ...StartSpan(...)` and returns the
+// span variable's object (nil for the blank identifier) and the call.
+func spanCreation(pass *framework.Pass, assign *ast.AssignStmt) (types.Object, *ast.CallExpr) {
+	if len(assign.Rhs) != 1 || len(assign.Lhs) != 2 {
+		return nil, nil
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || !framework.IsSpanStart(pass.TypesInfo, call) {
+		return nil, nil
+	}
+	id, ok := assign.Lhs[1].(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	if id.Name == "_" {
+		return nil, call
+	}
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Uses[id] // plain = assignment to existing var
+	}
+	if obj == nil {
+		return nil, nil
+	}
+	return obj, call
+}
+
+// tracker follows one span variable through block-structured control
+// flow. State is a single boolean: has this path ended (or handed off)
+// the span yet?
+type tracker struct {
+	pass     *framework.Pass
+	obj      types.Object
+	reported bool
+}
+
+// scan processes a statement list with entry state st and returns the
+// fall-through state plus whether the list always terminates the
+// function (so there is no fall-through).
+func (t *tracker) scan(stmts []ast.Stmt, st bool) (exit bool, terminated bool) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ReturnStmt:
+			if t.touched(s) {
+				st = true // returning the span is a hand-off
+			}
+			if !st {
+				t.reported = true
+				t.pass.Reportf(s.Pos(), "return without ending span %s; call %s.End() on this path or defer it at the start", t.obj.Name(), t.obj.Name())
+			}
+			return st, true
+		case *ast.BranchStmt:
+			// break/continue/goto: control leaves this list. The loop
+			// merge below already treats loop bodies conservatively, so
+			// just stop without reporting.
+			return st, true
+		case *ast.DeferStmt:
+			if t.touched(s) {
+				st = true // defer span.End() or a deferred closure using it
+			}
+		case *ast.IfStmt:
+			if s.Init != nil && t.touched(s.Init) {
+				st = true
+			}
+			if s.Cond != nil && t.touched(s.Cond) {
+				st = true
+			}
+			// `if span == nil` means the span doesn't exist in the then
+			// branch (and vice versa): that path needs no End.
+			bodyEntry, elseEntry := st, st
+			switch t.nilCheck(s.Cond) {
+			case token.EQL:
+				bodyEntry = true
+			case token.NEQ:
+				elseEntry = true
+			}
+			bodySt, bodyTerm := t.scan(s.Body.List, bodyEntry)
+			elseSt, elseTerm := elseEntry, false
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				elseSt, elseTerm = t.scan(e.List, elseEntry)
+			case *ast.IfStmt:
+				elseSt, elseTerm = t.scan([]ast.Stmt{e}, elseEntry)
+			}
+			switch {
+			case bodyTerm && elseTerm:
+				return st, true
+			case bodyTerm:
+				st = elseSt
+			case elseTerm:
+				st = bodySt
+			default:
+				st = bodySt && elseSt
+			}
+		case *ast.ForStmt:
+			if s.Init != nil && t.touched(s.Init) {
+				st = true
+			}
+			if s.Cond != nil && t.touched(s.Cond) {
+				st = true
+			}
+			bodySt, _ := t.scan(s.Body.List, st)
+			if s.Cond == nil {
+				st = bodySt // for{} only exits through its body
+			} else {
+				st = st && bodySt // may run zero times
+			}
+		case *ast.RangeStmt:
+			if t.touched(s.X) {
+				st = true
+			}
+			bodySt, _ := t.scan(s.Body.List, st)
+			st = st && bodySt
+		case *ast.SwitchStmt:
+			if s.Init != nil && t.touched(s.Init) {
+				st = true
+			}
+			if s.Tag != nil && t.touched(s.Tag) {
+				st = true
+			}
+			st2, term := t.scanClauses(s.Body, st, false)
+			if term {
+				return st2, true
+			}
+			st = st2
+		case *ast.TypeSwitchStmt:
+			st2, term := t.scanClauses(s.Body, st, false)
+			if term {
+				return st2, true
+			}
+			st = st2
+		case *ast.SelectStmt:
+			st2, term := t.scanClauses(s.Body, st, true)
+			if term {
+				return st2, true
+			}
+			st = st2
+		case *ast.BlockStmt:
+			st2, term := t.scan(s.List, st)
+			if term {
+				return st2, true
+			}
+			st = st2
+		case *ast.LabeledStmt:
+			st2, term := t.scan([]ast.Stmt{s.Stmt}, st)
+			if term {
+				return st2, true
+			}
+			st = st2
+		default:
+			if t.touched(stmt) {
+				st = true
+			}
+		}
+	}
+	return st, false
+}
+
+// scanClauses merges the case/comm clauses of a switch or select.
+// isSelect: a select with no default always executes some clause, so the
+// pre-state does not flow around it.
+func (t *tracker) scanClauses(body *ast.BlockStmt, st bool, isSelect bool) (exit bool, terminated bool) {
+	if len(body.List) == 0 {
+		return st, false
+	}
+	allSt, allTerm, hasDefault := true, true, false
+	for _, c := range body.List {
+		var list []ast.Stmt
+		entry := st
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				if t.touched(e) {
+					entry = true
+				}
+			}
+			list = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			} else if t.touched(c.Comm) {
+				entry = true
+			}
+			list = c.Body
+		}
+		cSt, cTerm := t.scan(list, entry)
+		if !cTerm {
+			allTerm = false
+			if !cSt {
+				allSt = false
+			}
+		}
+	}
+	exhaustive := hasDefault || isSelect
+	if allTerm && exhaustive {
+		return st, true
+	}
+	if exhaustive {
+		return allSt, false
+	}
+	return st && allSt, false
+}
+
+// nilCheck classifies cond as `span == nil` (EQL), `span != nil` (NEQ),
+// or neither (ILLEGAL).
+func (t *tracker) nilCheck(cond ast.Expr) token.Token {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return token.ILLEGAL
+	}
+	if (t.isObjExpr(be.X) && isNil(be.Y)) || (t.isObjExpr(be.Y) && isNil(be.X)) {
+		return be.Op
+	}
+	return token.ILLEGAL
+}
+
+// touched reports whether n ends or hands off the span: a direct
+// obj.End() call, or any escaping use (argument, return value, struct
+// field, channel send, closure capture, reassignment). Neutral uses —
+// other method calls on the span and nil comparisons — return false.
+func (t *tracker) touched(n ast.Node) bool {
+	found := false
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Capture by a closure is a hand-off; don't analyze its body
+			// as part of this function.
+			if t.usesObj(n) {
+				found = true
+			}
+			return false
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && t.isObj(id) {
+					if sel.Sel.Name == "End" {
+						found = true
+					} else {
+						// span.SetAttr(...) etc: neutral receiver use,
+						// but its arguments may still touch.
+						for _, a := range n.Args {
+							ast.Inspect(a, visit)
+						}
+					}
+					return false
+				}
+			}
+			return true
+		case *ast.BinaryExpr:
+			if n.Op == token.EQL || n.Op == token.NEQ {
+				if (t.isObjExpr(n.X) && isNil(n.Y)) || (t.isObjExpr(n.Y) && isNil(n.X)) {
+					return false // nil check is neutral
+				}
+			}
+			return true
+		case *ast.Ident:
+			if t.isObj(n) {
+				found = true // any other use escapes
+			}
+			return false
+		}
+		return true
+	}
+	ast.Inspect(n, visit)
+	return found
+}
+
+func (t *tracker) usesObj(n ast.Node) bool {
+	used := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && t.isObj(id) {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+func (t *tracker) isObj(id *ast.Ident) bool {
+	return t.pass.TypesInfo.Uses[id] == t.obj
+}
+
+func (t *tracker) isObjExpr(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && t.isObj(id)
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}

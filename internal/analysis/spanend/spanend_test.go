@@ -1,0 +1,12 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"hotpaths/internal/analysis/analyzertest"
+	"hotpaths/internal/analysis/spanend"
+)
+
+func TestSpanend(t *testing.T) {
+	analyzertest.Run(t, spanend.Analyzer, "a")
+}

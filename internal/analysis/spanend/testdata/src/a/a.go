@@ -1,0 +1,79 @@
+// Fixture for the spanend analyzer: every started span reaches End()
+// on all return paths.
+package a
+
+import (
+	"context"
+
+	"hotpaths/internal/tracing"
+)
+
+// Discarding the span loses the only handle that can End it.
+func discarded(ctx context.Context) {
+	_, _ = tracing.StartSpan(ctx, "work") // want `span discarded with _`
+}
+
+// Same, without even binding the results.
+func dropped(ctx context.Context) {
+	tracing.StartSpan(ctx, "work") // want `span-start result discarded`
+}
+
+// An early return that skips End truncates the trace on that path.
+func earlyReturn(ctx context.Context, fail bool) {
+	_, span := tracing.StartSpan(ctx, "work")
+	if fail {
+		return // want `return without ending span span`
+	}
+	span.End()
+}
+
+// No End on any path: reported at the start site.
+func neverEnded(ctx context.Context) {
+	_, span := tracing.StartSpan(ctx, "work") // want `span span is not ended before the function returns`
+	span.SetAttr("k", "v")
+}
+
+// Allowed: the canonical shape.
+func deferred(ctx context.Context) {
+	_, span := tracing.StartSpan(ctx, "work")
+	defer span.End()
+	work(ctx)
+}
+
+// Allowed: an unsampled request has no span; the nil branch needs no End.
+func nilChecked(ctx context.Context, tr *tracing.Tracer) {
+	ctx, span := tr.StartRequest(ctx, "req", "")
+	if span == nil {
+		work(ctx)
+		return
+	}
+	defer span.End()
+	work(ctx)
+}
+
+// Allowed: both branches end the span explicitly.
+func branches(ctx context.Context, fail bool) {
+	_, span := tracing.StartSpan(ctx, "work")
+	if fail {
+		span.End()
+		return
+	}
+	span.End()
+}
+
+// Allowed: capture by a closure hands the span off (the gateway's
+// scatter path ends its span inside a done() closure).
+func escapes(ctx context.Context) func() {
+	_, span := tracing.StartSpan(ctx, "work")
+	done := func() { span.End() }
+	return done
+}
+
+// Allowed: a reasoned suppression directive waives the finding.
+func suppressed(ctx context.Context) {
+	//hotpathsvet:ignore spanend session span deliberately outlives this call; the monitor goroutine ends it at disconnect
+	_, span := tracing.StartSpan(ctx, "session")
+	span.SetAttr("k", "v")
+}
+
+func work(context.Context) {}

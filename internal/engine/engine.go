@@ -360,6 +360,7 @@ func (e *Engine) tick(ctx context.Context, now trajectory.Time) (err error, view
 		}
 	}
 	if e.cfg.OnEpoch != nil && (e.cfg.EpochWanted == nil || e.cfg.EpochWanted()) {
+		//hotpathsvet:ignore locksnapshot epoch views are EpochWanted-gated and the snapshot must be consistent with this tick's staged reports, which only the lock guarantees
 		view = &epochView{snap: e.coord.Snapshot(), now: e.lastNow, st: e.statsLocked()}
 	}
 	return errors.Join(errs...), view
@@ -371,6 +372,7 @@ func (e *Engine) drainLocked() {
 	acks := make([]chan struct{}, len(e.shards))
 	for i, s := range e.shards {
 		acks[i] = make(chan struct{})
+		//hotpathsvet:ignore locksnapshot flush barrier: shards always drain their queue, and the lock is exactly what keeps new senders out while they do
 		s.ch <- msg{flush: acks[i]}
 	}
 	for _, ack := range acks {

@@ -1,7 +1,7 @@
 package engine
 
 import (
-	"strings"
+	"errors"
 	"testing"
 
 	"hotpaths/internal/coordinator"
@@ -115,8 +115,11 @@ func TestProcessingErrorSurfaces(t *testing.T) {
 	if err == nil {
 		t.Fatal("Tick must surface the shard processing error")
 	}
-	if !strings.Contains(err.Error(), "object 7") {
-		t.Errorf("error %q does not name the object", err)
+	// Typed classification (errstring contract): the object is carried
+	// on *ObjectError, not fished out of the rendered message.
+	var objErr *ObjectError
+	if !errors.As(err, &objErr) || objErr.ObjectID != 7 {
+		t.Errorf("error %q does not carry *ObjectError for object 7", err)
 	}
 	// The epoch itself still ran: one bad client must not stall hot-path
 	// discovery for well-behaved objects.

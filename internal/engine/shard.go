@@ -9,6 +9,20 @@ import (
 	"hotpaths/internal/trajectory"
 )
 
+// An ObjectError is a per-observation processing failure attributed to
+// one object, surfaced from the epoch-boundary Tick that follows it.
+// Tick wraps it ("engine: ..."), so callers classify with
+// errors.As(&ObjectError{}) — never by matching the rendered text
+// (the errstring contract).
+type ObjectError struct {
+	ObjectID int
+	Err      error
+}
+
+func (e *ObjectError) Error() string { return fmt.Sprintf("object %d: %v", e.ObjectID, e.Err) }
+
+func (e *ObjectError) Unwrap() error { return e.Err }
+
 // obs is an Observation tagged with its global ingestion sequence number,
 // assigned when the observation entered the engine. Sequence numbers
 // restore the single-threaded arrival order when shard reports are merged
@@ -103,7 +117,7 @@ func (s *shard) process(o obs) {
 	st, report, err := f.Process(tp)
 	if err != nil {
 		if s.err == nil {
-			s.err = fmt.Errorf("object %d: %w", o.ObjectID, err)
+			s.err = &ObjectError{ObjectID: o.ObjectID, Err: err}
 		}
 		return
 	}

@@ -40,6 +40,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"net/http"
 	"net/url"
 	"os"
@@ -120,7 +121,7 @@ func (s *Server) heartbeat() time.Duration {
 func (s *Server) ServeMeta(w http.ResponseWriter, r *http.Request) {
 	b, err := os.ReadFile(filepath.Join(s.Dir, metaFile))
 	if err != nil {
-		if os.IsNotExist(err) {
+		if errors.Is(err, fs.ErrNotExist) {
 			http.Error(w, `{"error":"no meta.json; not a durable log directory"}`, http.StatusNotFound)
 			return
 		}

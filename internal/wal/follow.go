@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 )
@@ -192,7 +193,7 @@ func (t *Tailer) ReadBatch(maxBytes int) (frames []byte, first uint64, n int, er
 func (t *Tailer) locate() (bool, error) {
 	starts, err := segments(t.dir)
 	if err != nil {
-		if os.IsNotExist(err) && t.pos == 0 {
+		if errors.Is(err, fs.ErrNotExist) && t.pos == 0 {
 			return false, nil
 		}
 		return false, err
@@ -216,7 +217,7 @@ func (t *Tailer) locate() (bool, error) {
 	}
 	f, err := os.Open(filepath.Join(t.dir, segName(seg)))
 	if err != nil {
-		if os.IsNotExist(err) {
+		if errors.Is(err, fs.ErrNotExist) {
 			// Deleted between the listing and the open (a truncation racing
 			// us); re-resolve on the next call.
 			return false, &TruncatedError{From: t.pos, Oldest: seg}

@@ -3,6 +3,7 @@ package wal
 import (
 	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -16,7 +17,7 @@ import (
 func ReadFrom(dir string, from uint64, fn func(lsn uint64, r Record) error) error {
 	starts, err := segments(dir)
 	if err != nil {
-		if os.IsNotExist(err) {
+		if errors.Is(err, fs.ErrNotExist) {
 			return nil
 		}
 		return err
@@ -121,7 +122,7 @@ func WriteCheckpoint(dir string, lsn uint64, payload []byte, keep int) error {
 func Checkpoints(dir string) ([]uint64, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		if os.IsNotExist(err) {
+		if errors.Is(err, fs.ErrNotExist) {
 			return nil, nil
 		}
 		return nil, err

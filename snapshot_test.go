@@ -2,10 +2,10 @@ package hotpaths
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"reflect"
 	"sort"
-	"strings"
 	"sync"
 	"testing"
 )
@@ -294,8 +294,11 @@ func TestBoundsValidation(t *testing.T) {
 			t.Errorf("bounds %+v must be rejected", bad)
 			continue
 		}
-		if !strings.HasPrefix(err.Error(), "hotpaths:") || !strings.Contains(err.Error(), "Bounds") {
-			t.Errorf("bounds %+v: error %q should be a hotpaths: Bounds message", bad, err)
+		// Typed classification (errstring contract): the rejected field
+		// is carried on *ConfigError, not parsed out of the message.
+		var cfgErr *ConfigError
+		if !errors.As(err, &cfgErr) || cfgErr.Field != "Bounds" {
+			t.Errorf("bounds %+v: error %q should be a *ConfigError for Bounds", bad, err)
 		}
 		if _, err := NewEngine(EngineConfig{Config: cfg}); err == nil {
 			t.Errorf("engine with bounds %+v must be rejected", bad)

@@ -1,0 +1,351 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// runFleet implements the `hotpaths fleet` subcommand: a fleet-wide ops
+// view assembled from every node's public (/stats, /healthz) and admin
+// (/metrics, /debug/events) surfaces. Each positional argument names one
+// node:
+//
+//	label=http://host:port                 public listener only
+//	label=http://host:port,http://admin    public + admin (-pprof) listener
+//
+// Without the admin URL the node still contributes health and counters;
+// the SLO burn gauges and flight-recorder events need the admin
+// listener.
+//
+// By default the view refreshes in place every -interval. With -once the
+// fleet is polled a single time and the full snapshot — per-node status
+// plus the merged, time-ordered flight-recorder timeline with trace IDs
+// preserved — is printed (or written to -out) as JSON, the form CI
+// archives and operators diff:
+//
+//	hotpaths fleet -once [-out fleet.json] [-events 100] \
+//	    p0=http://localhost:8080,http://localhost:6060 \
+//	    gw=http://localhost:8090,http://localhost:6061
+func runFleet(args []string) int {
+	fs := flag.NewFlagSet("hotpaths fleet", flag.ExitOnError)
+	var (
+		once     = fs.Bool("once", false, "poll once and print a JSON snapshot instead of the live view")
+		interval = fs.Duration("interval", 2*time.Second, "refresh interval for the live view")
+		events   = fs.Int("events", 50, "merged timeline length: keep the newest N events across the fleet")
+		out      = fs.String("out", "", "with -once: write the JSON snapshot here instead of stdout")
+		timeout  = fs.Duration("timeout", 5*time.Second, "per-request timeout when polling a node")
+	)
+	fs.Parse(args)
+
+	nodes, err := parseNodeSpecs(fs.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hotpaths fleet:", err)
+		return 2
+	}
+	if len(nodes) == 0 {
+		fmt.Fprintln(os.Stderr, "hotpaths fleet: no nodes given; pass label=URL[,adminURL] arguments")
+		return 2
+	}
+	client := &http.Client{Timeout: *timeout}
+
+	if *once {
+		snap := pollFleet(client, nodes, *events)
+		body, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hotpaths fleet:", err)
+			return 2
+		}
+		body = append(body, '\n')
+		if *out != "" {
+			if err := os.WriteFile(*out, body, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "hotpaths fleet:", err)
+				return 2
+			}
+		} else {
+			os.Stdout.Write(body)
+		}
+		return 0
+	}
+
+	// Live mode: redraw the whole view each round. Plain ANSI
+	// clear-and-home keeps the dependency surface at zero.
+	for {
+		snap := pollFleet(client, nodes, *events)
+		fmt.Print("\x1b[2J\x1b[H")
+		renderFleet(os.Stdout, snap)
+		time.Sleep(*interval)
+	}
+}
+
+// fleetNode is one node spec from the command line.
+type fleetNode struct {
+	label    string
+	url      string
+	adminURL string
+}
+
+func parseNodeSpecs(args []string) ([]fleetNode, error) {
+	var nodes []fleetNode
+	seen := map[string]bool{}
+	for _, a := range args {
+		label, rest, ok := strings.Cut(a, "=")
+		if !ok || label == "" || rest == "" {
+			return nil, fmt.Errorf("node spec %q must be label=URL[,adminURL]", a)
+		}
+		if seen[label] {
+			return nil, fmt.Errorf("duplicate node label %q", label)
+		}
+		seen[label] = true
+		main, admin, _ := strings.Cut(rest, ",")
+		nodes = append(nodes, fleetNode{
+			label:    label,
+			url:      strings.TrimRight(strings.TrimSpace(main), "/"),
+			adminURL: strings.TrimRight(strings.TrimSpace(admin), "/"),
+		})
+	}
+	return nodes, nil
+}
+
+// fleetSnapshot is the -once JSON document: every node's status plus the
+// merged flight-recorder timeline across the fleet.
+type fleetSnapshot struct {
+	CapturedAt time.Time          `json:"captured_at"`
+	Nodes      []nodeStatus       `json:"nodes"`
+	Timeline   []fleetEvent       `json:"timeline"`
+	SLO        map[string]sloView `json:"slo,omitempty"`
+}
+
+type nodeStatus struct {
+	Label    string         `json:"label"`
+	URL      string         `json:"url"`
+	AdminURL string         `json:"admin_url,omitempty"`
+	Health   map[string]any `json:"health,omitempty"`
+	Stats    map[string]any `json:"stats,omitempty"`
+	Events   int            `json:"events"`
+	Errors   []string       `json:"errors,omitempty"`
+}
+
+// sloView is the burn-rate summary parsed out of one node's /metrics.
+type sloView struct {
+	AvailabilityFast float64 `json:"availability_burn_fast"`
+	AvailabilitySlow float64 `json:"availability_burn_slow"`
+	LatencyFast      float64 `json:"latency_burn_fast"`
+	LatencySlow      float64 `json:"latency_burn_slow"`
+}
+
+// fleetEvent is one merged-timeline entry: a node's flight-recorder
+// event tagged with the node it came from, trace ID preserved so events
+// of one request on different fleet members correlate.
+type fleetEvent struct {
+	Node     string         `json:"node"`
+	Seq      uint64         `json:"seq"`
+	Time     string         `json:"time"`
+	UnixNano int64          `json:"unix_nano"`
+	Type     string         `json:"type"`
+	TraceID  string         `json:"trace_id,omitempty"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+}
+
+func pollFleet(client *http.Client, nodes []fleetNode, maxEvents int) fleetSnapshot {
+	snap := fleetSnapshot{
+		CapturedAt: time.Now().UTC(),
+		SLO:        map[string]sloView{},
+		Timeline:   []fleetEvent{},
+	}
+	for _, n := range nodes {
+		st := nodeStatus{Label: n.label, URL: n.url, AdminURL: n.adminURL}
+		if health, err := getJSONMap(client, n.url+"/healthz?verbose=1"); err != nil {
+			st.Errors = append(st.Errors, fmt.Sprintf("healthz: %v", err))
+		} else {
+			st.Health = health
+		}
+		if stats, err := getJSONMap(client, n.url+"/stats"); err != nil {
+			st.Errors = append(st.Errors, fmt.Sprintf("stats: %v", err))
+		} else {
+			st.Stats = stats
+		}
+		if n.adminURL != "" {
+			if slo, err := getSLO(client, n.adminURL+"/metrics"); err != nil {
+				st.Errors = append(st.Errors, fmt.Sprintf("metrics: %v", err))
+			} else {
+				snap.SLO[n.label] = slo
+			}
+			evs, err := getEvents(client, n.adminURL+"/debug/events")
+			if err != nil {
+				st.Errors = append(st.Errors, fmt.Sprintf("events: %v", err))
+			} else {
+				st.Events = len(evs)
+				for _, ev := range evs {
+					ev.Node = n.label
+					snap.Timeline = append(snap.Timeline, ev)
+				}
+			}
+		}
+		snap.Nodes = append(snap.Nodes, st)
+	}
+	// The fleet timeline: every node's ring merged into one
+	// time-ordered stream, newest maxEvents kept.
+	sort.Slice(snap.Timeline, func(i, j int) bool {
+		return snap.Timeline[i].UnixNano < snap.Timeline[j].UnixNano
+	})
+	if maxEvents > 0 && len(snap.Timeline) > maxEvents {
+		snap.Timeline = snap.Timeline[len(snap.Timeline)-maxEvents:]
+	}
+	return snap
+}
+
+func getJSONMap(client *http.Client, url string) (map[string]any, error) {
+	body, _, err := get(client, url)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func getEvents(client *http.Client, url string) ([]fleetEvent, error) {
+	body, _, err := get(client, url)
+	if err != nil {
+		return nil, err
+	}
+	var evs []fleetEvent
+	if err := json.Unmarshal(body, &evs); err != nil {
+		return nil, err
+	}
+	return evs, nil
+}
+
+// get fetches a URL, tolerating non-2xx statuses that still carry a
+// useful body (/healthz answers 503 while degraded — that is data, not
+// an error).
+func get(client *http.Client, url string) ([]byte, int, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, resp.StatusCode, err
+	}
+	return body, resp.StatusCode, nil
+}
+
+// getSLO extracts the hotpaths_slo_* burn gauges from one node's
+// Prometheus exposition. Both processes export the same family names
+// (the daemon from its request instruments, the gateway from its own),
+// so one parse works fleet-wide.
+func getSLO(client *http.Client, url string) (sloView, error) {
+	body, _, err := get(client, url)
+	if err != nil {
+		return sloView{}, err
+	}
+	var v sloView
+	for _, line := range strings.Split(string(body), "\n") {
+		if !strings.HasPrefix(line, "hotpaths_slo_") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := parseMetricLine(line)
+		if !ok {
+			continue
+		}
+		switch name {
+		case `hotpaths_slo_availability_burn_ratio{window="fast"}`:
+			v.AvailabilityFast = val
+		case `hotpaths_slo_availability_burn_ratio{window="slow"}`:
+			v.AvailabilitySlow = val
+		case `hotpaths_slo_latency_burn_ratio{window="fast"}`:
+			v.LatencyFast = val
+		case `hotpaths_slo_latency_burn_ratio{window="slow"}`:
+			v.LatencySlow = val
+		}
+	}
+	return v, nil
+}
+
+// parseMetricLine splits one exposition line into its full name
+// (including the label set) and value.
+func parseMetricLine(line string) (string, float64, bool) {
+	idx := strings.LastIndexByte(line, ' ')
+	if idx < 0 {
+		return "", 0, false
+	}
+	val, err := strconv.ParseFloat(strings.TrimSpace(line[idx+1:]), 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return strings.TrimSpace(line[:idx]), val, true
+}
+
+// renderFleet draws the live view: one row per node, then the tail of
+// the merged event timeline.
+func renderFleet(w io.Writer, snap fleetSnapshot) {
+	fmt.Fprintf(w, "hotpaths fleet — %s\n\n", snap.CapturedAt.Format(time.RFC3339))
+	fmt.Fprintf(w, "%-12s %-10s %-22s %10s %10s %12s %12s\n",
+		"NODE", "HEALTH", "REASON", "EPOCH", "PATHS", "AVAIL BURN", "LAT BURN")
+	for _, n := range snap.Nodes {
+		health, reason := "?", ""
+		if n.Health != nil {
+			health, _ = n.Health["status"].(string)
+			reason, _ = n.Health["reason"].(string)
+		}
+		epoch, paths := "-", "-"
+		if n.Stats != nil {
+			epoch = fmtNum(n.Stats["epoch"])
+			paths = fmtNum(n.Stats["index_size"])
+		}
+		burnA, burnL := "-", "-"
+		if slo, ok := snap.SLO[n.Label]; ok {
+			burnA = fmt.Sprintf("%.2f", slo.AvailabilityFast)
+			burnL = fmt.Sprintf("%.2f", slo.LatencyFast)
+		}
+		if len(n.Errors) > 0 && health == "?" {
+			health, reason = "unreachable", n.Errors[0]
+			if len(reason) > 22 {
+				reason = reason[:22]
+			}
+		}
+		fmt.Fprintf(w, "%-12s %-10s %-22s %10s %10s %12s %12s\n",
+			n.Label, health, reason, epoch, paths, burnA, burnL)
+	}
+	fmt.Fprintf(w, "\nEVENTS (%d, fleet-merged, oldest first)\n", len(snap.Timeline))
+	for _, ev := range snap.Timeline {
+		line := fmt.Sprintf("%s %-10s %-26s", ev.Time, ev.Node, ev.Type)
+		if ev.TraceID != "" {
+			line += " trace=" + ev.TraceID
+		}
+		if len(ev.Attrs) > 0 {
+			keys := make([]string, 0, len(ev.Attrs))
+			for k := range ev.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				line += fmt.Sprintf(" %s=%v", k, ev.Attrs[k])
+			}
+		}
+		fmt.Fprintln(w, line)
+	}
+}
+
+func fmtNum(v any) string {
+	switch n := v.(type) {
+	case float64:
+		return strconv.FormatFloat(n, 'f', -1, 64)
+	case nil:
+		return "-"
+	default:
+		return fmt.Sprint(v)
+	}
+}

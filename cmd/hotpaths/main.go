@@ -56,6 +56,17 @@
 //
 // -paper additionally regenerates the paper's accuracy-vs-communication
 // curve (deterministic under the fixed seed) as a separate artifact.
+//
+// `hotpaths fleet` is the fleet ops view: it polls every named node's
+// /stats, /healthz, /metrics and /debug/events and renders a live
+// refreshing dashboard — per-node health with its degraded reason, SLO
+// burn rates, and the fleet-merged flight-recorder timeline with trace
+// IDs preserved. With -once it instead emits one JSON snapshot (for CI
+// artifacts and postmortems):
+//
+//	hotpaths fleet [-once] [-out fleet.json] [-interval 2s] [-events 50] \
+//	    p0=http://localhost:8080,http://localhost:6060 \
+//	    gw=http://localhost:8090,http://localhost:6061
 package main
 
 import (
@@ -86,10 +97,13 @@ import (
 )
 
 func main() {
-	// The bench subcommand has its own FlagSet; dispatch before the
-	// simulation flags are parsed.
+	// The bench and fleet subcommands have their own FlagSets; dispatch
+	// before the simulation flags are parsed.
 	if len(os.Args) > 1 && os.Args[1] == "bench" {
 		os.Exit(runBench(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "fleet" {
+		os.Exit(runFleet(os.Args[2:]))
 	}
 	var (
 		n         = flag.Int("n", 20000, "number of moving objects")

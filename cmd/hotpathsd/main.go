@@ -116,6 +116,7 @@ import (
 	"time"
 
 	"hotpaths"
+	"hotpaths/internal/flightrec"
 	"hotpaths/internal/tracing"
 )
 
@@ -148,6 +149,7 @@ func run() int {
 		partID   = flag.Int("partition-id", 0, "with -partition-count: this daemon's partition slot (0-based)")
 		partN    = flag.Int("partition-count", 0, "run as partition -partition-id of this many primaries behind a hotpathsgw gateway; 0 = unpartitioned")
 		logFmt   = flag.String("log-format", "text", "log output format: text or json")
+		frDump   = flag.String("flightrec-dump", "", "directory for flight-recorder ring dumps: written on WAL poisoning and on shutdown; empty disables dumps")
 		trSample = flag.Float64("trace-sample", 0, "fraction of requests to trace in [0,1]; sampled traces are kept in the /debug/traces ring")
 		trSlow   = flag.Duration("trace-slow", 0, "force-trace and log any request slower than this (0 disables); works even with -trace-sample 0")
 	)
@@ -161,6 +163,12 @@ func run() int {
 		return fail(fmt.Errorf("-trace-sample must be in [0,1], got %g", *trSample))
 	}
 	tracing.Default.Configure("hotpathsd", *trSample, *trSlow)
+	if *frDump != "" {
+		// Arm the crash-forensics dump: the moment the WAL poisons, the
+		// event ring — the last N things the daemon did — hits disk, even
+		// if nobody reaches /debug/events before a restart wipes it.
+		flightrec.Default.AutoDump(*frDump, flightrec.EvWALPoisoned)
+	}
 
 	if *partN < 0 {
 		return fail(errors.New("-partition-count must be non-negative"))
@@ -326,6 +334,16 @@ func run() int {
 			code = 1
 		} else {
 			slog.Info("snapshot written", "path", *snapshot)
+		}
+	}
+	if *frDump != "" {
+		// The final flight-recorder snapshot: what the daemon was doing in
+		// its last moments, for postmortems that start after the process
+		// (and its in-memory ring) is gone.
+		if path, err := flightrec.Default.DumpTo(*frDump, "shutdown"); err != nil {
+			slog.Error("flight-recorder dump failed", "error", err)
+		} else {
+			slog.Info("flight-recorder dump written", "path", path)
 		}
 	}
 	st := src.Stats()

@@ -9,18 +9,21 @@ import (
 	"net/http/pprof"
 	"time"
 
+	"hotpaths/internal/flightrec"
 	"hotpaths/internal/metrics"
 	"hotpaths/internal/tracing"
 )
 
 // adminHandler is the -pprof listener's mux: the profiling endpoints, a
-// second /metrics mount, and the completed-trace ring under /debug/traces
-// — all kept off the public port so the debug surface is opt-in and never
-// internet-facing by accident.
+// second /metrics mount, the completed-trace ring under /debug/traces,
+// and the flight-recorder ring under /debug/events — all kept off the
+// public port so the debug surface is opt-in and never internet-facing
+// by accident.
 func adminHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("GET /metrics", metrics.Handler())
 	tracing.Default.RegisterDebug(mux)
+	flightrec.Default.RegisterDebug(mux)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"hotpaths"
+	"hotpaths/internal/flightrec"
 	"hotpaths/internal/metrics"
 	"hotpaths/internal/partition"
 	"hotpaths/internal/tracing"
@@ -78,6 +79,14 @@ type server struct {
 	// Shutdown returns).
 	closing  chan struct{}
 	stopOnce sync.Once
+
+	// slo derives burn-rate gauges from the daemon's request instruments.
+	slo *metrics.SLO
+
+	// lastHealth remembers the previous /healthz verdict so only state
+	// transitions — not every poll — become flight-recorder events.
+	healthMu   sync.Mutex
+	lastHealth string
 }
 
 type cachedSnapshot struct {
@@ -101,13 +110,21 @@ func newServer(src backend, opts serverOpts) *server {
 		// end when the HTTP server drains instead of pinning Shutdown.
 		s.repl = hotpaths.NewReplicationFeed(opts.dur, s.closing)
 	}
+	s.slo = metrics.StartSLO(metrics.Default, metrics.SLOOptions{
+		RequestsTotal:  "hotpaths_http_requests_total",
+		LatencySeconds: "hotpaths_http_request_seconds",
+	})
 	return s
 }
 
 // stopWatches ends every open /watch stream; registered with the HTTP
-// server's shutdown hook.
+// server's shutdown hook. It also stops the SLO sampler — shutdown is
+// the last burn-rate reading anyone will scrape.
 func (s *server) stopWatches() {
-	s.stopOnce.Do(func() { close(s.closing) })
+	s.stopOnce.Do(func() {
+		close(s.closing)
+		s.slo.Stop()
+	})
 }
 
 // readGen is the cache key for the snapshot cache: the local write count
@@ -587,51 +604,130 @@ func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"lsn": lsn})
 }
 
+// sloDegradedBurn is the fast-window burn rate past which the /healthz
+// slo component reports degraded: spending error budget an order of
+// magnitude faster than the objective allows is an incident, not noise.
+const sloDegradedBurn = 10.0
+
 // handleHealthz reports liveness — and, with -wal, writability: once the
 // journal is poisoned by an I/O failure every write is failing, so
 // answering 200 would keep load balancers routing ingest at a daemon
 // that can only refuse it. In -follow mode it reports replication health
 // instead: a follower that lost its primary, or whose record lag exceeds
 // -max-lag, serves stale answers and must be rotated out of read pools.
+//
+// The body carries a stable machine-readable `reason` token
+// (wal_poisoned, replication_disconnected, replication_lag) so operators
+// and automation can branch on the cause without parsing prose, and
+// `?verbose=1` adds a per-component breakdown (wal, replication,
+// topology, slo). Every ok<->degraded flip is recorded in the flight
+// recorder as a health_transition event.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	reason, errMsg := "", ""
+	body := map[string]any{}
 	if s.dur != nil {
 		if err := s.dur.Err(); err != nil {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-				"status": "degraded",
-				"error":  err.Error(),
-			})
-			return
+			reason, errMsg = "wal_poisoned", err.Error()
 		}
 	}
+	var rs hotpaths.ReplicationStats
 	if s.fol != nil {
-		rs := s.fol.Replication()
-		degraded := ""
-		switch {
-		case !rs.Connected:
-			degraded = "replication stream disconnected"
-			if rs.LastError != "" {
-				degraded += ": " + rs.LastError
+		rs = s.fol.Replication()
+		body["replication_lag_records"] = rs.LagRecords
+		body["replication_lag_epochs"] = rs.LagEpochs
+		if reason == "" {
+			switch {
+			case !rs.Connected:
+				reason = "replication_disconnected"
+				errMsg = "replication stream disconnected"
+				if rs.LastError != "" {
+					errMsg += ": " + rs.LastError
+				}
+			case s.maxLag > 0 && rs.LagRecords > s.maxLag:
+				reason = "replication_lag"
+				errMsg = fmt.Sprintf("replication lag %d records exceeds the %d threshold", rs.LagRecords, s.maxLag)
 			}
-		case s.maxLag > 0 && rs.LagRecords > s.maxLag:
-			degraded = fmt.Sprintf("replication lag %d records exceeds the %d threshold", rs.LagRecords, s.maxLag)
 		}
-		if degraded != "" {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-				"status":                  "degraded",
-				"error":                   degraded,
-				"replication_lag_records": rs.LagRecords,
-				"replication_lag_epochs":  rs.LagEpochs,
-			})
-			return
+	}
+	status, code := "ok", http.StatusOK
+	if reason != "" {
+		status, code = "degraded", http.StatusServiceUnavailable
+		body["reason"] = reason
+		body["error"] = errMsg
+	}
+	body["status"] = status
+	s.recordHealthTransition(r.Context(), status, reason)
+	if r.URL.Query().Get("verbose") == "1" {
+		body["components"] = s.healthComponents(rs, reason)
+	}
+	writeJSON(w, code, body)
+}
+
+// healthComponents is the ?verbose=1 breakdown: one entry per subsystem
+// with its own ok/degraded verdict, so an operator sees which layer —
+// journal, stream, slot assignment, or error budget — is the problem.
+func (s *server) healthComponents(rs hotpaths.ReplicationStats, reason string) map[string]any {
+	comps := map[string]any{}
+	wal := map[string]any{"status": "disabled"}
+	if s.dur != nil {
+		wal["status"] = "ok"
+		if reason == "wal_poisoned" {
+			wal["status"] = "degraded"
+			wal["error"] = s.dur.Err().Error()
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
-			"status":                  "ok",
-			"replication_lag_records": rs.LagRecords,
-			"replication_lag_epochs":  rs.LagEpochs,
-		})
+	}
+	comps["wal"] = wal
+	repl := map[string]any{"status": "disabled"}
+	if s.fol != nil {
+		repl = map[string]any{
+			"status":      "ok",
+			"primary":     rs.Primary,
+			"connected":   rs.Connected,
+			"lag_records": rs.LagRecords,
+			"lag_epochs":  rs.LagEpochs,
+		}
+		if reason == "replication_disconnected" || reason == "replication_lag" {
+			repl["status"] = "degraded"
+		}
+	}
+	comps["replication"] = repl
+	topo := map[string]any{"status": "ok", "partitioned": s.partN > 0}
+	if s.partN > 0 {
+		topo["partition_id"] = s.partID
+		topo["partition_count"] = s.partN
+	}
+	comps["topology"] = topo
+	slo := s.slo.Status()
+	sloStatus := "ok"
+	if slo.Max() >= sloDegradedBurn {
+		sloStatus = "degraded"
+	}
+	comps["slo"] = map[string]any{"status": sloStatus, "burn": slo}
+	return comps
+}
+
+// recordHealthTransition emits one health_transition event per state
+// change. /healthz is polled constantly; repeats are not news.
+func (s *server) recordHealthTransition(ctx context.Context, status, reason string) {
+	s.healthMu.Lock()
+	prev := s.lastHealth
+	s.lastHealth = status
+	s.healthMu.Unlock()
+	if prev == status {
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+	if prev == "" {
+		prev = "unknown"
+	}
+	attrs := []flightrec.Attr{
+		flightrec.KV("component", "daemon"),
+		flightrec.KV("from", prev),
+		flightrec.KV("to", status),
+	}
+	if reason != "" {
+		attrs = append(attrs, flightrec.KV("reason", reason))
+	}
+	flightrec.Default.RecordCtx(ctx, flightrec.EvHealthTransition, attrs...)
 }
 
 // handleReconnect serves POST /admin/reconnect on followers: drop the

@@ -4,18 +4,21 @@ import (
 	"net/http"
 	"net/http/pprof"
 
+	"hotpaths/internal/flightrec"
 	"hotpaths/internal/metrics"
 	"hotpaths/internal/tracing"
 )
 
 // adminHandler is the -pprof listener's mux: the profiling endpoints, a
-// second /metrics mount, and the completed-trace ring under /debug/traces
-// — the same admin surface hotpathsd exposes, so one set of tooling works
-// against every process in the fleet.
+// second /metrics mount, the completed-trace ring under /debug/traces,
+// and the flight-recorder ring under /debug/events — the same admin
+// surface hotpathsd exposes, so one set of tooling works against every
+// process in the fleet.
 func adminHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("GET /metrics", metrics.Handler())
 	tracing.Default.RegisterDebug(mux)
+	flightrec.Default.RegisterDebug(mux)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -17,6 +17,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -208,12 +209,14 @@ var e2eQueries = []string{
 func TestGatewayE2E(t *testing.T) {
 	hotpathsd := buildBinary(t, "../hotpathsd", "hotpathsd")
 	hotpathsgw := buildBinary(t, ".", "hotpathsgw")
+	hotpathsCLI := buildBinary(t, "../hotpaths", "hotpaths")
 
 	pipeline := []string{"-eps", "5", "-w", "100", "-epoch", "10", "-k", "10",
 		"-bounds", "-100,-100,2000,2000"}
 	parts := make([]*daemon, e2ePartitions)
 	urls := make([]string, e2ePartitions)
 	partAdmins := make([]string, e2ePartitions)
+	frDump := t.TempDir()
 	for i := range parts {
 		partAdmins[i] = freeAddr(t)
 		args := append([]string{
@@ -223,6 +226,7 @@ func TestGatewayE2E(t *testing.T) {
 			"-partition-id", fmt.Sprint(i),
 			"-pprof", partAdmins[i],
 			"-trace-sample", "1",
+			"-flightrec-dump", frDump,
 		}, pipeline...)
 		parts[i] = startDaemon(t, fmt.Sprintf("partition-%d", i), hotpathsd, args...)
 		urls[i] = parts[i].base
@@ -366,6 +370,10 @@ func TestGatewayE2E(t *testing.T) {
 		t.Fatalf("misrouted observe: %d %s, want 400", code, b)
 	}
 
+	// Flight-recorder correlation + the fleet ops view: a second outage,
+	// observed end to end through `hotpaths fleet -once`.
+	checkFleetTimeline(t, hotpathsCLI, hotpathsgw, urls, parts, partAdmins)
+
 	// Graceful shutdown all around.
 	for _, d := range append(append([]*daemon{}, parts...), gw, ref) {
 		d.stop(syscall.SIGTERM)
@@ -373,6 +381,144 @@ func TestGatewayE2E(t *testing.T) {
 			t.Errorf("%s exited %d; logs:\n%s", d.name, code, d.logs)
 		}
 	}
+
+	// The -flightrec-dump workflow: every partition (including the one
+	// SIGTERMed mid-test) snapshotted its event ring to disk on shutdown.
+	dumps, err := filepath.Glob(filepath.Join(frDump, "flightrec-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dumps) < e2ePartitions {
+		t.Errorf("flight-recorder dumps = %d, want at least %d (one per partition shutdown)", len(dumps), e2ePartitions)
+	}
+}
+
+// fleetSnap mirrors `hotpaths fleet -once` output.
+type fleetSnap struct {
+	Nodes []struct {
+		Label  string   `json:"label"`
+		Errors []string `json:"errors"`
+	} `json:"nodes"`
+	Timeline []struct {
+		Node     string         `json:"node"`
+		UnixNano int64          `json:"unix_nano"`
+		Type     string         `json:"type"`
+		TraceID  string         `json:"trace_id"`
+		Attrs    map[string]any `json:"attrs"`
+	} `json:"timeline"`
+}
+
+// checkFleetTimeline forces a partition outage in front of a prober-less
+// gateway — so the first request to notice the dead partition is a
+// traced read, making the 206 and the partition health flip land in the
+// same trace — then snapshots the whole fleet with `hotpaths fleet
+// -once` and asserts the merged timeline shows the correlated pair.
+func checkFleetTimeline(t *testing.T, hotpathsCLI, hotpathsgw string, urls []string, parts []*daemon, partAdmins []string) {
+	t.Helper()
+
+	// A dedicated gateway with the background prober disabled: health
+	// flips can only come from request-path failures, so the traced read
+	// below deterministically wins the race to record the transition.
+	gw2Admin := freeAddr(t)
+	gw2 := startDaemon(t, "gateway-2", hotpathsgw,
+		"-partitions", strings.Join(urls, ","), "-k", "10", "-probe", "-1s",
+		"-pprof", gw2Admin, "-trace-sample", "1")
+
+	// Partition 3 goes away; nothing notices until a request tries it.
+	parts[3].stop(syscall.SIGTERM)
+
+	const traceID = "7ad6b7169203331d38823852de95b154"
+	hreq, err := http.NewRequest(http.MethodGet, gw2.base+"/paths", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("traceparent", "00-"+traceID+"-00f067aa0ba902b7-01")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("traced read with partition 3 down: %d, want 206\nlogs:\n%s", resp.StatusCode, gw2.logs)
+	}
+	if got := resp.Header.Get(hotpaths.PartialHeader); got != "3" {
+		t.Fatalf("%s = %q, want \"3\"", hotpaths.PartialHeader, got)
+	}
+
+	// Snapshot the fleet: the live partitions, the dead one (the tool must
+	// tolerate it), and the prober-less gateway whose ring holds the
+	// correlated events. CI sets FLEET_SNAPSHOT_PATH to archive the file.
+	snapPath := os.Getenv("FLEET_SNAPSHOT_PATH")
+	if snapPath == "" {
+		snapPath = filepath.Join(t.TempDir(), "fleet.json")
+	}
+	args := []string{"fleet", "-once", "-events", "200", "-out", snapPath,
+		"gw2=" + gw2.base + "," + "http://" + gw2Admin}
+	for i, d := range parts {
+		args = append(args, fmt.Sprintf("p%d=%s,http://%s", i, d.base, partAdmins[i]))
+	}
+	out, err := exec.Command(hotpathsCLI, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("hotpaths fleet -once: %v\n%s", err, out)
+	}
+	raw, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap fleetSnap
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("decode fleet snapshot: %v\n%s", err, raw)
+	}
+
+	// The dead node is reported unreachable, not fatal.
+	var deadSeen bool
+	for _, n := range snap.Nodes {
+		if n.Label == "p3" {
+			deadSeen = len(n.Errors) > 0
+		}
+	}
+	if !deadSeen {
+		t.Errorf("snapshot does not report the dead partition's poll errors: %s", raw)
+	}
+
+	// One merged, time-ordered timeline across processes...
+	nodes := map[string]bool{}
+	for i, ev := range snap.Timeline {
+		nodes[ev.Node] = true
+		if i > 0 && ev.UnixNano < snap.Timeline[i-1].UnixNano {
+			t.Fatalf("timeline out of order at %d: %d after %d", i, ev.UnixNano, snap.Timeline[i-1].UnixNano)
+		}
+	}
+	if len(nodes) < 2 {
+		t.Errorf("merged timeline covers %d node(s), want events from several processes: %s", len(nodes), raw)
+	}
+
+	// ...where the outage shows up as a correlated pair under the minted
+	// trace: the gateway's 206 and the partition health flip it caused.
+	var partials, flips int
+	for _, ev := range snap.Timeline {
+		if ev.Node != "gw2" || ev.TraceID != traceID {
+			continue
+		}
+		switch ev.Type {
+		case "gateway_partial_read":
+			partials++
+			if ev.Attrs["missing_partitions"] != "3" {
+				t.Errorf("partial-read event names partitions %v, want \"3\"", ev.Attrs["missing_partitions"])
+			}
+		case "health_transition":
+			flips++
+			if ev.Attrs["component"] != "partition" || ev.Attrs["partition"] != float64(3) {
+				t.Errorf("health transition attrs = %v, want component=partition partition=3", ev.Attrs)
+			}
+		}
+	}
+	if partials != 1 || flips != 1 {
+		t.Fatalf("correlated events under trace %s: %d partial reads, %d health flips, want exactly 1 of each\n%s",
+			traceID, partials, flips, raw)
+	}
+	gw2.stop(syscall.SIGTERM)
 }
 
 // e2eSpan mirrors the /debug/traces/{id} span JSON.

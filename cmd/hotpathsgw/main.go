@@ -57,6 +57,7 @@ import (
 	"syscall"
 	"time"
 
+	"hotpaths/internal/flightrec"
 	"hotpaths/internal/gateway"
 	"hotpaths/internal/partition"
 	"hotpaths/internal/tracing"
@@ -77,6 +78,7 @@ func run() int {
 		logFmt   = flag.String("log-format", "text", "log output format: text or json")
 		trSample = flag.Float64("trace-sample", 0, "fraction of requests to trace in [0,1]; sampled traces are kept in the /debug/traces ring")
 		trSlow   = flag.Duration("trace-slow", 0, "force-trace and log any request slower than this (0 disables); works even with -trace-sample 0")
+		frDump   = flag.String("flightrec-dump", "", "directory for a flight-recorder ring dump on shutdown; empty disables it")
 	)
 	flag.Parse()
 
@@ -160,6 +162,14 @@ func run() int {
 		if err := admin.Shutdown(shutCtx); err != nil {
 			slog.Error("admin shutdown failed", "error", err)
 			code = 1
+		}
+	}
+	if *frDump != "" {
+		if path, err := flightrec.Default.DumpTo(*frDump, "shutdown"); err != nil {
+			slog.Error("flight-recorder dump failed", "error", err)
+			code = 1
+		} else {
+			slog.Info("flight-recorder dump written", "path", path)
 		}
 	}
 	return code

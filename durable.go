@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"hotpaths/internal/engine"
+	"hotpaths/internal/flightrec"
 	"hotpaths/internal/tracing"
 	"hotpaths/internal/wal"
 )
@@ -584,6 +585,8 @@ func (d *Durable) checkpointLocked(ctx context.Context) error {
 	t0 := time.Now()
 	ctx, span := tracing.StartSpan(ctx, "checkpoint")
 	defer span.End()
+	flightrec.Default.RecordCtx(ctx, flightrec.EvCheckpointStart,
+		flightrec.KV("count", d.ckptCount))
 	_, fspan := tracing.StartSpan(ctx, "wal.fsync")
 	serr := d.log.Sync()
 	fspan.End()
@@ -616,8 +619,13 @@ func (d *Durable) checkpointLocked(ctx context.Context) error {
 	d.ckptCount++
 	span.SetAttr("lsn", lsn)
 	span.SetAttr("bytes", len(payload))
-	mCheckpoint.ObserveSince(t0)
+	el := time.Since(t0)
+	mCheckpoint.Observe(el.Seconds())
 	mCheckpointBytes.Observe(float64(len(payload)))
+	flightrec.Default.RecordCtx(ctx, flightrec.EvCheckpointFinish,
+		flightrec.KV("lsn", lsn),
+		flightrec.KV("bytes", len(payload)),
+		flightrec.KV("duration_ms", el.Milliseconds()))
 	return nil
 }
 

@@ -34,7 +34,7 @@ import (
 
 var Analyzer = &framework.Analyzer{
 	Name: "batchclock",
-	Doc:  "no time.Now, histogram Observe, or span creation inside per-record loops on hot paths",
+	Doc:  "no time.Now, histogram Observe, span creation, or flight-recorder events inside per-record loops on hot paths",
 	Run:  run,
 }
 
@@ -44,6 +44,7 @@ var hotPackages = []string{
 	"internal/engine",
 	"internal/wal",
 	"internal/gateway",
+	"internal/flightrec",
 	"/testdata/",
 }
 
@@ -103,6 +104,8 @@ func checkLoopBody(pass *framework.Pass, body *ast.BlockStmt) {
 			pass.Reportf(call.Pos(), "histogram %s inside a loop on a hot path records per record; observe once per batch after the loop", fn.Name())
 		case framework.IsSpanStart(pass.TypesInfo, call):
 			pass.Reportf(call.Pos(), "starting a span inside a loop on a hot path allocates per record; one span must cover the whole batch")
+		case framework.IsMethodOf(fn, "flightrec", "Recorder", "Record") || framework.IsMethodOf(fn, "flightrec", "Recorder", "RecordCtx"):
+			pass.Reportf(call.Pos(), "flight-recorder %s inside a loop on a hot path emits an event per record; record one event per batch after the loop", fn.Name())
 		}
 		return true
 	})

@@ -6,6 +6,7 @@ import (
 	"context"
 	"time"
 
+	"hotpaths/internal/flightrec"
 	"hotpaths/internal/metrics"
 	"hotpaths/internal/tracing"
 )
@@ -70,6 +71,29 @@ func perShard(shards []chan []record, h *metrics.Histogram) {
 			h.ObserveSince(start)
 		}()
 	}
+}
+
+func perRecordEvent(recs []record, rec *flightrec.Recorder) {
+	for range recs {
+		rec.Record("record_ingested") // want `flight-recorder Record inside a loop`
+	}
+}
+
+func perRecordEventCtx(ctx context.Context, recs []record, rec *flightrec.Recorder) {
+	for _, r := range recs {
+		rec.RecordCtx(ctx, "record_ingested", flightrec.KV("v", r.v)) // want `flight-recorder RecordCtx inside a loop`
+	}
+}
+
+// Allowed: the recorder's contract — one event summarising the batch,
+// emitted after the loop.
+func perBatchEvent(ctx context.Context, recs []record, rec *flightrec.Recorder) {
+	var sum float64
+	for _, r := range recs {
+		sum += r.v
+	}
+	rec.RecordCtx(ctx, "batch_ingested",
+		flightrec.KV("records", len(recs)), flightrec.KV("sum", sum))
 }
 
 // Allowed: a reasoned suppression directive waives the finding.

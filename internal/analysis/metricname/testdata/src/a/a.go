@@ -27,6 +27,16 @@ func register(r *metrics.Registry, dyn string) {
 	// idempotent GetOrCreate contract.
 	r.Counter("requests_total", "requests served", nil)
 
+	// Allowed: the SLO burn-rate gauge family — derived ratios and
+	// thresholds are gauges with unit suffixes, never counters.
+	r.GaugeFunc("hotpaths_slo_availability_burn_ratio", "availability error-budget burn rate", metrics.Labels{"window": "fast"}, func() float64 { return 0 })
+	r.GaugeFunc("hotpaths_slo_latency_burn_ratio", "latency error-budget burn rate", metrics.Labels{"window": "slow"}, func() float64 { return 0 })
+	r.GaugeFunc("hotpaths_slo_latency_threshold_seconds", "latency SLO threshold", nil, func() float64 { return 0 })
+
+	// A burn-rate gauge misnamed as a counter trips both contracts.
+	r.Counter("hotpaths_slo_error_burn_ratio_total", "burn rate as a counter", nil)
+	r.Gauge("hotpaths_slo_error_burn_ratio_total", "burn rate as a gauge", nil) // want `must not end in _total` `registered as gauge here but as counter`
+
 	// Allowed: a reasoned suppression directive waives the finding.
 	//hotpathsvet:ignore metricname legacy dashboard keys on this exact name; renaming is a breaking change tracked separately
 	r.Counter("legacy_request_count", "requests served (legacy name)", nil)

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"hotpaths"
+	"hotpaths/internal/flightrec"
 )
 
 // Point is one benchmark's measurement.
@@ -205,6 +206,25 @@ func cases() []benchCase {
 					return err
 				}
 				b.StartTimer()
+			}
+			return nil
+		}},
+
+		{"flightrec_record", 0, func(b *testing.B) error {
+			// The flight recorder sits on the WAL rotation, epoch barrier,
+			// and prober paths; this point bounds the cost of one Record so
+			// the ingest benches above (which run with the recorder live, as
+			// production does) can attribute any drift.
+			rec := flightrec.New(1024)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec.Record(flightrec.EvEpochBarrier,
+					flightrec.KV("epoch", "12"),
+					flightrec.KV("clock", "120"),
+					flightrec.KV("paths", "64"))
+			}
+			if got := len(rec.Snapshot("", time.Time{}, 0)); got == 0 {
+				return fmt.Errorf("recorder ring empty after %d records", b.N)
 			}
 			return nil
 		}},

@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"hotpaths/internal/coordinator"
+	"hotpaths/internal/flightrec"
 	"hotpaths/internal/geom"
 	"hotpaths/internal/motion"
 	"hotpaths/internal/partition"
@@ -301,9 +302,19 @@ func (e *Engine) tick(ctx context.Context, now trajectory.Time) (err error, view
 	e.drainLocked()
 	barrier.End()
 	mBarrier.ObserveSince(tEpoch)
+	var nReports, nResponses int
 	defer func() {
 		mEpochs.Inc()
-		mTick.ObserveSince(tEpoch)
+		d := time.Since(tEpoch)
+		mTick.Observe(d.Seconds())
+		// One event per epoch barrier (batch granularity), carrying the
+		// trace ID when the tick ran inside a traced request.
+		flightrec.Default.RecordCtx(ctx, flightrec.EvEpochBarrier,
+			flightrec.KV("now", int64(now)),
+			flightrec.KV("duration_us", d.Microseconds()),
+			flightrec.KV("queue_depth", depth),
+			flightrec.KV("reports", nReports),
+			flightrec.KV("responses", nResponses))
 	}()
 
 	// Collect this epoch's shard reports and restore arrival order.
@@ -330,6 +341,7 @@ func (e *Engine) tick(ctx context.Context, now trajectory.Time) (err error, view
 	resps, perr := e.coord.ProcessEpoch(batch)
 	span.SetAttr("reports", len(batch))
 	span.SetAttr("responses", len(resps))
+	nReports, nResponses = len(batch), len(resps)
 	e.staged = e.staged[:0]
 	e.followUps = nil
 	if perr != nil {

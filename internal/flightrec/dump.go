@@ -1,0 +1,53 @@
+package flightrec
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// dumpJSON is the on-disk snapshot format: a self-describing header plus
+// the full retained timeline, oldest event first.
+type dumpJSON struct {
+	DumpedAt string      `json:"dumped_at"`
+	Reason   string      `json:"reason"`
+	PID      int         `json:"pid"`
+	Events   []eventJSON `json:"events"`
+}
+
+// DumpTo snapshots the ring to a JSON file in dir (created if needed)
+// and returns the file's path. The filename embeds the PID and a
+// nanosecond timestamp, so repeated dumps — shutdown after a poisoning,
+// two processes sharing a dump dir — never collide. The file is written
+// to a temp name and renamed, so a reader never sees a torn snapshot.
+func (r *Recorder) DumpTo(dir, reason string) (string, error) {
+	now := time.Now()
+	evs := r.Snapshot("", time.Time{}, 0)
+	out := dumpJSON{
+		DumpedAt: now.UTC().Format(time.RFC3339Nano),
+		Reason:   reason,
+		PID:      os.Getpid(),
+		Events:   make([]eventJSON, len(evs)),
+	}
+	for i, ev := range evs {
+		out.Events[i] = toJSON(ev)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("flightrec: dump dir: %w", err)
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("flightrec: encode dump: %w", err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("flightrec-%d-%d.json", os.Getpid(), now.UnixNano()))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return "", fmt.Errorf("flightrec: write dump: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return "", fmt.Errorf("flightrec: finalise dump: %w", err)
+	}
+	return path, nil
+}

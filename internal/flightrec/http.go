@@ -1,0 +1,85 @@
+package flightrec
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// eventJSON is the exposition form of one event, shared by
+// GET /debug/events and DumpTo.
+type eventJSON struct {
+	Seq      uint64         `json:"seq"`
+	Time     string         `json:"time"`
+	UnixNano int64          `json:"unix_nano"`
+	Type     string         `json:"type"`
+	TraceID  string         `json:"trace_id,omitempty"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+}
+
+func toJSON(ev Event) eventJSON {
+	out := eventJSON{
+		Seq:      ev.Seq,
+		Time:     ev.Time.UTC().Format(time.RFC3339Nano),
+		UnixNano: ev.Time.UnixNano(),
+		Type:     ev.Type,
+		TraceID:  ev.TraceID,
+	}
+	if len(ev.Attrs) > 0 {
+		out.Attrs = make(map[string]any, len(ev.Attrs))
+		for _, a := range ev.Attrs {
+			out.Attrs[a.Key] = a.Value
+		}
+	}
+	return out
+}
+
+// RegisterDebug mounts GET /debug/events on an admin mux, alongside
+// /metrics, /debug/pprof and /debug/traces.
+//
+// Query parameters:
+//
+//   - type:  keep only events of this type (one Ev* string)
+//   - since: keep only events at or after this instant — RFC3339(Nano),
+//     or a Go duration ("5m") meaning that long before now
+//   - limit: keep only the newest N events after filtering
+//
+// The response is a JSON array, oldest event first.
+func (r *Recorder) RegisterDebug(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/events", r.handleEvents)
+}
+
+func (r *Recorder) handleEvents(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	var since time.Time
+	if s := q.Get("since"); s != "" {
+		if d, err := time.ParseDuration(s); err == nil {
+			since = time.Now().Add(-d)
+		} else if t, err := time.Parse(time.RFC3339Nano, s); err == nil {
+			since = t
+		} else {
+			http.Error(w, "since: want RFC3339 timestamp or duration like 5m", http.StatusBadRequest)
+			return
+		}
+	}
+	limit := 0
+	if s := q.Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			http.Error(w, "limit: want a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	evs := r.Snapshot(q.Get("type"), since, limit)
+	out := make([]eventJSON, len(evs))
+	for i, ev := range evs {
+		out[i] = toJSON(ev)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// Errors past the header are client disconnects; nothing to do.
+	_ = enc.Encode(out)
+}

@@ -1,0 +1,155 @@
+package gateway
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"hotpaths/internal/flightrec"
+)
+
+// eventBaseline returns the newest seq in the process-global ring, so a
+// test counts only its own events.
+func eventBaseline() uint64 {
+	evs := flightrec.Default.Snapshot("", time.Time{}, 0)
+	if len(evs) == 0 {
+		return 0
+	}
+	return evs[len(evs)-1].Seq
+}
+
+// debugEvents fetches one type through GET /debug/events — the surface
+// `hotpaths fleet` polls — keeping events newer than the baseline.
+func debugEvents(t *testing.T, typ string, after uint64) []map[string]any {
+	t.Helper()
+	mux := http.NewServeMux()
+	flightrec.Default.RegisterDebug(mux)
+	rec := doReq(t, mux, http.MethodGet, "/debug/events?type="+typ, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/events: %d %s", rec.Code, rec.Body.String())
+	}
+	var all []map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &all); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	for _, ev := range all {
+		if seq, _ := ev["seq"].(float64); uint64(seq) > after {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// TestTopologyMismatchEventExactlyOnce: a misdeclared partition stays
+// misdeclared on every probe round, but only the first detection is an
+// event — repeated probes of the same broken state record nothing new.
+func TestTopologyMismatchEventExactlyOnce(t *testing.T) {
+	base := eventBaseline()
+	fleet := newFakeFleet(t, 2)
+	fleet[1].id = 0 // daemon thinks it is partition 0; table says 1
+	g := newTestGateway(t, fleet, -1)
+
+	// New probed once; probe the same broken fleet a few more times.
+	for i := 0; i < 3; i++ {
+		g.probeAll()
+	}
+	evs := debugEvents(t, flightrec.EvTopologyMismatch, base)
+	if len(evs) != 1 {
+		t.Fatalf("gateway_topology_mismatch events over 4 probe rounds = %d, want exactly 1: %v", len(evs), evs)
+	}
+	attrs, _ := evs[0]["attrs"].(map[string]any)
+	if attrs["declared_id"] != float64(0) || attrs["assigned_id"] != float64(1) {
+		t.Errorf("mismatch attrs = %v, want declared_id=0 assigned_id=1", attrs)
+	}
+
+	// The stable degraded-cause token distinguishes the mismatch from a
+	// plain dead partition.
+	rec := doReq(t, g.Handler(), http.MethodGet, "/healthz", nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz: %d, want 503", rec.Code)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["reason"] != "topology_mismatch" {
+		t.Errorf("healthz reason = %v, want topology_mismatch", body["reason"])
+	}
+}
+
+// TestHealthzReasonAndVerbose: a dead partition yields the
+// partition_unhealthy token, and ?verbose=1 breaks health down by
+// component with the SLO burn attached.
+func TestHealthzReasonAndVerbose(t *testing.T) {
+	fleet := newFakeFleet(t, 2)
+	g := newTestGateway(t, fleet, -1)
+	h := g.Handler()
+
+	rec := doReq(t, h, http.MethodGet, "/healthz?verbose=1", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthy fleet: %d %s", rec.Code, rec.Body.String())
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if _, hasReason := body["reason"]; hasReason {
+		t.Errorf("healthy body carries a reason: %v", body)
+	}
+	comps, _ := body["components"].(map[string]any)
+	for _, name := range []string{"topology", "slo"} {
+		comp, _ := comps[name].(map[string]any)
+		if comp == nil || comp["status"] != "ok" {
+			t.Errorf("component %s = %v, want status ok", name, comps[name])
+		}
+	}
+
+	fleet[1].failing.Store(true)
+	g.probeAll()
+	rec = doReq(t, h, http.MethodGet, "/healthz", nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded fleet: %d", rec.Code)
+	}
+	body = map[string]any{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["reason"] != "partition_unhealthy" {
+		t.Errorf("healthz reason = %v, want partition_unhealthy", body["reason"])
+	}
+}
+
+// TestGatewayHealthTransitionEvents: the gateway-level verdict flip is
+// one event per transition across many polls, and the partition-level
+// flip from the prober is likewise recorded once.
+func TestGatewayHealthTransitionEvents(t *testing.T) {
+	fleet := newFakeFleet(t, 2)
+	g := newTestGateway(t, fleet, -1)
+	h := g.Handler()
+
+	// Settle the gateway-level state (unknown -> ok).
+	doReq(t, h, http.MethodGet, "/healthz", nil)
+
+	base := eventBaseline()
+	fleet[1].failing.Store(true)
+	g.probeAll() // partition 1 flips: one partition-level transition
+	for i := 0; i < 3; i++ {
+		doReq(t, h, http.MethodGet, "/healthz", nil)
+	}
+	evs := debugEvents(t, flightrec.EvHealthTransition, base)
+	var partition, gateway int
+	for _, ev := range evs {
+		attrs, _ := ev["attrs"].(map[string]any)
+		switch attrs["component"] {
+		case "partition":
+			partition++
+		case "gateway":
+			gateway++
+		}
+	}
+	if partition != 1 || gateway != 1 {
+		t.Fatalf("health_transition events: partition=%d gateway=%d, want 1 and 1: %v", partition, gateway, evs)
+	}
+}

@@ -51,10 +51,16 @@ import (
 	"time"
 
 	"hotpaths"
+	"hotpaths/internal/flightrec"
 	"hotpaths/internal/metrics"
 	"hotpaths/internal/partition"
 	"hotpaths/internal/tracing"
 )
+
+// sloDegradedBurn is the fast-window burn rate past which the /healthz
+// slo component reports degraded: spending error budget an order of
+// magnitude faster than the objective allows is an incident, not noise.
+const sloDegradedBurn = 10.0
 
 // Config parameterises a Gateway.
 type Config struct {
@@ -126,8 +132,14 @@ type part struct {
 	clock   int64
 }
 
-func (p *part) setHealth(healthy bool, err string, epoch, clock int64) {
+// setHealth updates the prober's view of one partition. Transitions —
+// and only transitions; probes repeat, state flips do not — are recorded
+// as flight-recorder events, carrying the trace ID when the flip was
+// detected inside a traced request (a failed scatter leg) rather than by
+// the background prober.
+func (p *part) setHealth(ctx context.Context, healthy bool, err string, epoch, clock int64) {
 	p.mu.Lock()
+	wasChecked, wasHealthy := p.checked, p.healthy
 	p.checked = true
 	p.healthy = healthy
 	p.lastErr = err
@@ -142,6 +154,37 @@ func (p *part) setHealth(healthy bool, err string, epoch, clock int64) {
 		p.failC.Inc()
 	}
 	p.upG.Set(v)
+	if !wasChecked || wasHealthy != healthy {
+		from := "unknown"
+		if wasChecked {
+			from = healthState(wasHealthy)
+		}
+		attrs := []flightrec.Attr{
+			flightrec.KV("component", "partition"),
+			flightrec.KV("partition", p.id),
+			flightrec.KV("from", from),
+			flightrec.KV("to", healthState(healthy)),
+		}
+		if err != "" {
+			attrs = append(attrs, flightrec.KV("reason", err))
+		}
+		flightrec.Default.RecordCtx(ctx, flightrec.EvHealthTransition, attrs...)
+	}
+}
+
+func healthState(healthy bool) string {
+	if healthy {
+		return "ok"
+	}
+	return "degraded"
+}
+
+// lastError returns the partition's most recent probe error ("" when
+// healthy).
+func (p *part) lastError() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lastErr
 }
 
 // Gateway routes writes to partition owners and merges reads across the
@@ -161,6 +204,14 @@ type Gateway struct {
 	closing   chan struct{}
 	closeOnce sync.Once
 	probeDone chan struct{}
+
+	// slo derives burn-rate gauges from the gateway's request instruments.
+	slo *metrics.SLO
+
+	// lastHealth remembers the previous /healthz verdict so only state
+	// transitions — not every poll — become flight-recorder events.
+	healthMu   sync.Mutex
+	lastHealth string
 }
 
 // mergedView is the fleet's merged read state at one epoch: every
@@ -200,6 +251,10 @@ func New(cfg Config) (*Gateway, error) {
 		})
 	}
 	mPartitions.Set(int64(len(g.parts)))
+	g.slo = metrics.StartSLO(metrics.Default, metrics.SLOOptions{
+		RequestsTotal:  "hotpathsgw_http_requests_total",
+		LatencySeconds: "hotpathsgw_http_request_seconds",
+	})
 	g.probeAll()
 	if cfg.ProbeInterval > 0 {
 		go g.probeLoop()
@@ -214,6 +269,7 @@ func New(cfg Config) (*Gateway, error) {
 func (g *Gateway) Close() {
 	g.closeOnce.Do(func() { close(g.closing) })
 	<-g.probeDone
+	g.slo.Stop()
 }
 
 // Handler mounts the gateway's HTTP surface: the hotpathsd read/write
@@ -246,6 +302,7 @@ func (g *Gateway) Handler() http.Handler {
 // closes the body, so body-read time counts — and the trace context is
 // propagated to the partition in the traceparent header.
 func (g *Gateway) do(ctx context.Context, p *part, method, path string, body []byte) (*http.Response, error) {
+	parent := ctx
 	ctx, cancel := context.WithTimeout(ctx, g.cfg.RequestTimeout)
 	ctx, span := tracing.StartSpan(ctx, "partition.leg")
 	span.SetAttr("partition", p.id)
@@ -276,6 +333,15 @@ func (g *Gateway) do(ctx context.Context, p *part, method, path string, body []b
 	if err != nil {
 		span.Annotate("leg failed: %v", err)
 		done()
+		// A transport failure on a live request is fresher evidence than
+		// the last probe: flip the partition to degraded now, in the
+		// request's trace context, so the health transition and the 206
+		// the caller is about to emit correlate. Skip it when the caller
+		// itself went away — a client disconnect says nothing about the
+		// partition.
+		if parent.Err() == nil {
+			p.setHealth(parent, false, err.Error(), 0, 0)
+		}
 		return nil, err
 	}
 	span.SetAttr("http.status", resp.StatusCode)
@@ -492,8 +558,10 @@ func (g *Gateway) merged(ctx context.Context) (*mergedView, []partError) {
 func (g *Gateway) invalidate() { g.gen.Add(1) }
 
 // writePartial stamps a partial scatter-gather response: 206 with the
-// missing partition ids in the X-Hotpaths-Partial header.
-func writePartial(w http.ResponseWriter, missing []partError) int {
+// missing partition ids in the X-Hotpaths-Partial header. Each partial
+// response is one flight-recorder event carrying the request's trace ID,
+// so a fleet timeline can tie the 206 to the partition outage behind it.
+func writePartial(ctx context.Context, w http.ResponseWriter, missing []partError) int {
 	if len(missing) == 0 {
 		return http.StatusOK
 	}
@@ -503,6 +571,10 @@ func writePartial(w http.ResponseWriter, missing []partError) int {
 	}
 	w.Header().Set(hotpaths.PartialHeader, strings.Join(ids, ","))
 	mPartial.Inc()
+	flightrec.Default.RecordCtx(ctx, flightrec.EvGatewayPartial,
+		flightrec.KV("missing_partitions", strings.Join(ids, ",")),
+		flightrec.KV("missing_count", len(missing)),
+	)
 	return http.StatusPartialContent
 }
 
@@ -520,7 +592,7 @@ func (g *Gateway) answerQuery(w http.ResponseWriter, r *http.Request, defaultK i
 	sel := q.apply(mv.paths)
 	w.Header().Set(hotpaths.EpochHeader, strconv.FormatInt(mv.epoch, 10))
 	w.Header().Set(hotpaths.ClockHeader, strconv.FormatInt(mv.clock, 10))
-	status := writePartial(w, missing)
+	status := writePartial(r.Context(), w, missing)
 	if geo {
 		var buf bytes.Buffer
 		if err := hotpaths.WriteGeoJSON(&buf, sel); err != nil {
@@ -786,11 +858,11 @@ func (g *Gateway) probe(p *part) {
 	ctx := context.Background()
 	resp, err := g.do(ctx, p, http.MethodGet, "/healthz", nil)
 	if err != nil {
-		p.setHealth(false, err.Error(), 0, 0)
+		p.setHealth(ctx, false, err.Error(), 0, 0)
 		return
 	}
 	if resp.StatusCode != http.StatusOK {
-		p.setHealth(false, readError(resp).Error(), 0, 0)
+		p.setHealth(ctx, false, readError(resp).Error(), 0, 0)
 		return
 	}
 	io.Copy(io.Discard, resp.Body)
@@ -798,27 +870,39 @@ func (g *Gateway) probe(p *part) {
 
 	resp, err = g.do(ctx, p, http.MethodGet, "/stats", nil)
 	if err != nil {
-		p.setHealth(false, err.Error(), 0, 0)
+		p.setHealth(ctx, false, err.Error(), 0, 0)
 		return
 	}
 	if resp.StatusCode != http.StatusOK {
-		p.setHealth(false, readError(resp).Error(), 0, 0)
+		p.setHealth(ctx, false, readError(resp).Error(), 0, 0)
 		return
 	}
 	var st statsProbe
 	err = json.NewDecoder(resp.Body).Decode(&st)
 	resp.Body.Close()
 	if err != nil {
-		p.setHealth(false, fmt.Sprintf("decode stats: %v", err), 0, 0)
+		p.setHealth(ctx, false, fmt.Sprintf("decode stats: %v", err), 0, 0)
 		return
 	}
 	if st.PartitionCount != 0 && (st.PartitionCount != len(g.parts) || st.PartitionID != p.id) {
-		p.setHealth(false, fmt.Sprintf(
+		msg := fmt.Sprintf(
 			"topology mismatch: daemon declares partition %d of %d, table assigns %d of %d",
-			st.PartitionID, st.PartitionCount, p.id, len(g.parts)), 0, 0)
+			st.PartitionID, st.PartitionCount, p.id, len(g.parts))
+		// A mismatched daemon stays mismatched for as long as it runs:
+		// record the event once per distinct message, not once per probe.
+		if msg != p.lastError() {
+			flightrec.Default.Record(flightrec.EvTopologyMismatch,
+				flightrec.KV("partition", p.id),
+				flightrec.KV("declared_id", st.PartitionID),
+				flightrec.KV("declared_count", st.PartitionCount),
+				flightrec.KV("assigned_id", p.id),
+				flightrec.KV("assigned_count", len(g.parts)),
+			)
+		}
+		p.setHealth(ctx, false, msg, 0, 0)
 		return
 	}
-	p.setHealth(true, "", st.Epoch, st.Clock)
+	p.setHealth(ctx, true, "", st.Epoch, st.Clock)
 }
 
 // partStatus is one partition's row in /stats and /healthz.
@@ -851,11 +935,15 @@ func (g *Gateway) status() []partStatus {
 
 // handleHealthz reports fleet health: 503 when any partition is down,
 // fails its topology check, or lags the fleet's epoch by more than one
-// (transient skew of one epoch is an in-flight tick barrier).
+// (transient skew of one epoch is an in-flight tick barrier). The body
+// carries a stable machine-readable `reason` token so operators can
+// distinguish degraded causes without parsing prose; `?verbose=1` adds a
+// per-component breakdown (topology, slo).
 func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	sts := g.status()
 	var degraded []string
 	var maxEpoch int64
+	topologyMismatch, unhealthy, lagging := false, false, false
 	for _, st := range sts {
 		if st.Healthy && st.Epoch > maxEpoch {
 			maxEpoch = st.Epoch
@@ -864,24 +952,88 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	for _, st := range sts {
 		switch {
 		case !st.Healthy:
+			unhealthy = true
+			if strings.Contains(st.Error, "topology mismatch") {
+				topologyMismatch = true
+			}
 			degraded = append(degraded, fmt.Sprintf("partition %d: %s", st.ID, st.Error))
 		case maxEpoch-st.Epoch > 1:
+			lagging = true
 			degraded = append(degraded, fmt.Sprintf(
 				"partition %d lagging: epoch %d while the fleet reached %d", st.ID, st.Epoch, maxEpoch))
 		}
 	}
+	// Stable reason tokens, most specific first: a mismatched partition
+	// is also unhealthy, but the mismatch is the actionable cause.
+	reason := ""
+	switch {
+	case topologyMismatch:
+		reason = "topology_mismatch"
+	case unhealthy:
+		reason = "partition_unhealthy"
+	case lagging:
+		reason = "partition_lagging"
+	}
+	status, code := "ok", http.StatusOK
 	if len(degraded) > 0 {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"status":     "degraded",
-			"error":      strings.Join(degraded, "; "),
-			"partitions": sts,
-		})
+		status, code = "degraded", http.StatusServiceUnavailable
+	}
+	g.recordHealthTransition(r.Context(), status, reason)
+	body := map[string]any{
+		"status":     status,
+		"partitions": sts,
+	}
+	if reason != "" {
+		body["reason"] = reason
+		body["error"] = strings.Join(degraded, "; ")
+	}
+	if r.URL.Query().Get("verbose") == "1" {
+		topoStatus := "ok"
+		if len(degraded) > 0 {
+			topoStatus = "degraded"
+		}
+		slo := g.slo.Status()
+		sloStatus := "ok"
+		if slo.Max() >= sloDegradedBurn {
+			sloStatus = "degraded"
+		}
+		body["components"] = map[string]any{
+			"topology": map[string]any{
+				"status":     topoStatus,
+				"partitions": len(sts),
+				"max_epoch":  maxEpoch,
+			},
+			"slo": map[string]any{
+				"status": sloStatus,
+				"burn":   slo,
+			},
+		}
+	}
+	writeJSON(w, code, body)
+}
+
+// recordHealthTransition emits one gateway-level health_transition event
+// per state change. /healthz is polled constantly; repeats are not news.
+func (g *Gateway) recordHealthTransition(ctx context.Context, status, reason string) {
+	g.healthMu.Lock()
+	prev := g.lastHealth
+	g.lastHealth = status
+	g.healthMu.Unlock()
+	if prev == status {
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":     "ok",
-		"partitions": sts,
-	})
+	if prev == "" {
+		prev = "unknown"
+	}
+	attrs := []flightrec.Attr{
+		flightrec.KV("component", "gateway"),
+		flightrec.KV("from", prev),
+		flightrec.KV("to", status),
+	}
+	if reason != "" {
+		attrs = append(attrs, flightrec.KV("reason", reason))
+	}
+	flightrec.Default.RecordCtx(ctx, flightrec.EvHealthTransition, attrs...)
 }
 
 // handleStats aggregates the fleet's counters: sums for the additive
@@ -969,7 +1121,7 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 	status := http.StatusOK
 	if len(errs) > 0 {
 		resp["error"] = errors.Join(asErrs(errs)...).Error()
-		status = writePartial(w, errs)
+		status = writePartial(r.Context(), w, errs)
 	}
 	writeJSON(w, status, resp)
 }

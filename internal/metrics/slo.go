@@ -1,0 +1,267 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// SLOOptions configures multi-window SLO burn-rate derivation over
+// instruments a registry already holds — the per-route request counters
+// and latency histograms the HTTP layers register. Derivation is pure
+// scrape-side arithmetic: nothing new is recorded on the request path.
+type SLOOptions struct {
+	// RequestsTotal names the counter family carrying one counter per
+	// {route, code} with code a status class ("2xx".."5xx"). Requests in
+	// the "5xx" class spend availability error budget.
+	RequestsTotal string
+	// LatencySeconds names the histogram family carrying one latency
+	// histogram per route. Observations over LatencyThreshold spend
+	// latency error budget.
+	LatencySeconds string
+
+	// AvailabilityObjective is the target fraction of non-5xx requests
+	// (default 0.999). LatencyObjective is the target fraction of
+	// requests under LatencyThreshold seconds (default 0.99, threshold
+	// default 0.25 — snapped down to a bucket bound at evaluation, since
+	// bucket counts are the only sub-histogram resolution available).
+	AvailabilityObjective float64
+	LatencyObjective      float64
+	LatencyThreshold      float64
+
+	// FastWindow (default 5m) catches fast burn — an incident in
+	// progress; SlowWindow (default 1h) catches slow burn — budget
+	// leaking away. Interval (default 10s) is the sampling cadence that
+	// bounds window resolution.
+	FastWindow time.Duration
+	SlowWindow time.Duration
+	Interval   time.Duration
+}
+
+func (o *SLOOptions) defaults() {
+	if o.AvailabilityObjective <= 0 || o.AvailabilityObjective >= 1 {
+		o.AvailabilityObjective = 0.999
+	}
+	if o.LatencyObjective <= 0 || o.LatencyObjective >= 1 {
+		o.LatencyObjective = 0.99
+	}
+	if o.LatencyThreshold <= 0 {
+		o.LatencyThreshold = 0.25
+	}
+	if o.FastWindow <= 0 {
+		o.FastWindow = 5 * time.Minute
+	}
+	if o.SlowWindow <= o.FastWindow {
+		o.SlowWindow = time.Hour
+	}
+	if o.Interval <= 0 {
+		o.Interval = 10 * time.Second
+	}
+}
+
+// sloSample is one cumulative reading of the SLO inputs.
+type sloSample struct {
+	t                 time.Time
+	total, errs       uint64 // requests, 5xx requests
+	latTotal, latGood uint64 // latency observations, under-threshold ones
+}
+
+// SLOStatus is one evaluation of every burn gauge, for /healthz
+// component breakdowns and tests.
+type SLOStatus struct {
+	AvailabilityFast float64 `json:"availability_burn_fast"`
+	AvailabilitySlow float64 `json:"availability_burn_slow"`
+	LatencyFast      float64 `json:"latency_burn_fast"`
+	LatencySlow      float64 `json:"latency_burn_slow"`
+}
+
+// Max returns the worst burn across objectives and windows.
+func (s SLOStatus) Max() float64 {
+	m := s.AvailabilityFast
+	for _, v := range []float64{s.AvailabilitySlow, s.LatencyFast, s.LatencySlow} {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// SLO derives multi-window burn rates from a registry's own instruments.
+// A burn rate of 1.0 means error budget is being spent exactly as fast
+// as the objective allows over that window; an alert rule pages on
+// sustained fast-window burn well above 1 (see the README's starter
+// expressions).
+type SLO struct {
+	reg *Registry
+	o   SLOOptions
+
+	mu      sync.Mutex
+	samples []sloSample // ring, oldest overwritten
+	pos, n  int
+
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// StartSLO registers the hotpaths_slo_* gauge families on reg and starts
+// the background sampler feeding them. The gauges are computed at scrape
+// time from retained samples; the request path pays nothing.
+func StartSLO(reg *Registry, o SLOOptions) *SLO {
+	o.defaults()
+	cap := int(o.SlowWindow/o.Interval) + 2
+	s := &SLO{reg: reg, o: o, samples: make([]sloSample, cap), stop: make(chan struct{})}
+	s.Sample()
+
+	reg.GaugeFunc("hotpaths_slo_availability_objective_ratio",
+		"configured availability SLO: target fraction of non-5xx requests",
+		nil, func() float64 { return o.AvailabilityObjective })
+	reg.GaugeFunc("hotpaths_slo_latency_objective_ratio",
+		"configured latency SLO: target fraction of requests under the threshold",
+		nil, func() float64 { return o.LatencyObjective })
+	reg.GaugeFunc("hotpaths_slo_latency_threshold_seconds",
+		"latency SLO threshold (snapped down to a histogram bucket bound)",
+		nil, func() float64 { return o.LatencyThreshold })
+	reg.GaugeFunc("hotpaths_slo_availability_burn_ratio",
+		"availability error-budget burn rate over the window (1.0 = spending budget exactly at the objective rate)",
+		Labels{"window": "fast"}, func() float64 { return s.Status().AvailabilityFast })
+	reg.GaugeFunc("hotpaths_slo_availability_burn_ratio",
+		"availability error-budget burn rate over the window (1.0 = spending budget exactly at the objective rate)",
+		Labels{"window": "slow"}, func() float64 { return s.Status().AvailabilitySlow })
+	reg.GaugeFunc("hotpaths_slo_latency_burn_ratio",
+		"latency error-budget burn rate over the window (1.0 = spending budget exactly at the objective rate)",
+		Labels{"window": "fast"}, func() float64 { return s.Status().LatencyFast })
+	reg.GaugeFunc("hotpaths_slo_latency_burn_ratio",
+		"latency error-budget burn rate over the window (1.0 = spending budget exactly at the objective rate)",
+		Labels{"window": "slow"}, func() float64 { return s.Status().LatencySlow })
+
+	go s.run()
+	return s
+}
+
+func (s *SLO) run() {
+	t := time.NewTicker(s.o.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.Sample()
+		}
+	}
+}
+
+// Stop halts the background sampler. The gauges keep answering from
+// retained samples.
+func (s *SLO) Stop() { s.stopOnce.Do(func() { close(s.stop) }) }
+
+// Sample takes one cumulative reading now. The background sampler calls
+// it on its cadence; tests call it directly to advance time-free.
+func (s *SLO) Sample() {
+	sm := s.collect()
+	s.mu.Lock()
+	s.samples[s.pos] = sm
+	s.pos = (s.pos + 1) % len(s.samples)
+	if s.n < len(s.samples) {
+		s.n++
+	}
+	s.mu.Unlock()
+}
+
+// collect reads the cumulative SLO inputs from the registry's live
+// instruments.
+func (s *SLO) collect() sloSample {
+	sm := sloSample{t: time.Now()}
+	s.reg.mu.Lock()
+	defer s.reg.mu.Unlock()
+	if f, ok := s.reg.families[s.o.RequestsTotal]; ok && f.kind == kindCounter {
+		for key, m := range f.metrics {
+			c, ok := m.(*Counter)
+			if !ok {
+				continue
+			}
+			v := c.Value()
+			sm.total += v
+			if isErrorClass(key) {
+				sm.errs += v
+			}
+		}
+	}
+	if f, ok := s.reg.families[s.o.LatencySeconds]; ok && f.kind == kindHistogram {
+		for _, m := range f.metrics {
+			h, ok := m.(*Histogram)
+			if !ok {
+				continue
+			}
+			sm.latTotal += h.Count()
+			var under uint64
+			for i, b := range h.bounds {
+				if b > s.o.LatencyThreshold {
+					break
+				}
+				under += h.counts[i].Load()
+			}
+			sm.latGood += under
+		}
+	}
+	return sm
+}
+
+// isErrorClass reports whether a rendered label key carries code="5xx".
+// Label keys are rendered with sorted names and quoted values, so a
+// substring probe is exact.
+func isErrorClass(renderedLabels string) bool {
+	return containsLabel(renderedLabels, `code="5xx"`)
+}
+
+func containsLabel(rendered, probe string) bool {
+	for i := 0; i+len(probe) <= len(rendered); i++ {
+		if rendered[i:i+len(probe)] == probe {
+			return true
+		}
+	}
+	return false
+}
+
+// Status evaluates every burn gauge now.
+func (s *SLO) Status() SLOStatus {
+	cur := s.collect()
+	fast := s.at(cur.t.Add(-s.o.FastWindow))
+	slow := s.at(cur.t.Add(-s.o.SlowWindow))
+	return SLOStatus{
+		AvailabilityFast: burn(cur.total-fast.total, cur.errs-fast.errs, s.o.AvailabilityObjective),
+		AvailabilitySlow: burn(cur.total-slow.total, cur.errs-slow.errs, s.o.AvailabilityObjective),
+		LatencyFast:      burn(cur.latTotal-fast.latTotal, (cur.latTotal-cur.latGood)-(fast.latTotal-fast.latGood), s.o.LatencyObjective),
+		LatencySlow:      burn(cur.latTotal-slow.latTotal, (cur.latTotal-cur.latGood)-(slow.latTotal-slow.latGood), s.o.LatencyObjective),
+	}
+}
+
+// at returns the newest retained sample at or before t, or the oldest
+// retained sample when none is old enough (early in process life, every
+// window degrades to "since start", which is the honest answer).
+func (s *SLO) at(t time.Time) sloSample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return sloSample{}
+	}
+	start := s.pos - s.n
+	best := s.samples[(start+len(s.samples))%len(s.samples)]
+	for i := 0; i < s.n; i++ {
+		sm := s.samples[(start+i+len(s.samples))%len(s.samples)]
+		if sm.t.After(t) {
+			break
+		}
+		best = sm
+	}
+	return best
+}
+
+// burn turns a windowed (total, bad) delta into an error-budget burn
+// rate against the objective: badFraction / (1 - objective). No traffic
+// burns nothing.
+func burn(total, bad uint64, objective float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return (float64(bad) / float64(total)) / (1 - objective)
+}

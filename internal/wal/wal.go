@@ -12,10 +12,17 @@ import (
 	"sync"
 	"syscall"
 	"time"
+
+	"hotpaths/internal/flightrec"
 )
 
 // ErrClosed is returned by operations on a closed log.
 var ErrClosed = errors.New("wal: closed")
+
+// fsyncStallThreshold is the group-commit fsync duration past which a
+// wal_fsync_stall event is recorded: an order of magnitude over the
+// default commit cadence, long enough to back up appenders.
+const fsyncStallThreshold = 250 * time.Millisecond
 
 const (
 	segPrefix  = "wal-"
@@ -312,7 +319,13 @@ func (l *Log) syncLocked() error {
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
-	mFsync.ObserveSince(t0)
+	d := time.Since(t0)
+	mFsync.Observe(d.Seconds())
+	if d >= fsyncStallThreshold {
+		flightrec.Default.Record(flightrec.EvWALFsyncStall,
+			flightrec.KV("duration_ms", d.Milliseconds()),
+			flightrec.KV("pending_records", l.pending))
+	}
 	mCommitBatch.Observe(float64(l.pending))
 	l.pending = 0
 	l.dirty = false
@@ -406,6 +419,11 @@ func (l *Log) writeLocked(frames []byte) error {
 func (l *Log) poisonLocked(err error) {
 	if l.syncErr == nil {
 		l.syncErr = fmt.Errorf("wal: log failed, restart to recover: %w", err)
+		// First failure only: the flip from healthy to poisoned is the
+		// event; repeated rejections afterwards are not.
+		flightrec.Default.Record(flightrec.EvWALPoisoned,
+			flightrec.KV("error", err.Error()),
+			flightrec.KV("next_lsn", l.nextLSN))
 	}
 }
 
@@ -419,7 +437,13 @@ func (l *Log) rotateLocked() error {
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
-	mFsync.ObserveSince(t0)
+	d := time.Since(t0)
+	mFsync.Observe(d.Seconds())
+	if d >= fsyncStallThreshold {
+		flightrec.Default.Record(flightrec.EvWALFsyncStall,
+			flightrec.KV("duration_ms", d.Milliseconds()),
+			flightrec.KV("pending_records", l.pending))
+	}
 	mCommitBatch.Observe(float64(l.pending))
 	l.pending = 0
 	l.dirty = false
@@ -428,6 +452,10 @@ func (l *Log) rotateLocked() error {
 		return err
 	}
 	mRotations.Inc()
+	flightrec.Default.Record(flightrec.EvWALRotation,
+		flightrec.KV("sealed_start_lsn", l.segStart),
+		flightrec.KV("sealed_bytes", l.segSize),
+		flightrec.KV("next_start_lsn", l.nextLSN))
 	return l.openSegmentLocked(l.nextLSN)
 }
 

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"hotpaths/internal/engine"
+	"hotpaths/internal/flightrec"
 	"hotpaths/internal/replication"
 	"hotpaths/internal/tracing"
 	"hotpaths/internal/wal"
@@ -259,7 +260,9 @@ func (f *Follower) run(ctx context.Context) {
 			return
 		}
 		f.mu.Lock()
+		wasConnected := f.connected
 		f.connected = false
+		applied := f.applied
 		mFollowerConnected.Set(0)
 		if hadConnection {
 			f.reconnects++
@@ -270,8 +273,23 @@ func (f *Follower) run(ctx context.Context) {
 			f.lastErr = err
 		}
 		f.mu.Unlock()
+		if wasConnected {
+			// Only the true-to-false flip is an event; failed reconnect
+			// attempts while already down are not.
+			attrs := []flightrec.Attr{
+				flightrec.KV("primary", f.primary),
+				flightrec.KV("applied_lsn", applied),
+			}
+			if err != nil && !errors.Is(err, context.Canceled) {
+				attrs = append(attrs, flightrec.KV("error", err.Error()))
+			}
+			flightrec.Default.Record(flightrec.EvReplDisconnect, attrs...)
+		}
 
 		if errors.Is(err, replication.ErrSnapshotNeeded) {
+			flightrec.Default.Record(flightrec.EvReplRebootstrap,
+				flightrec.KV("primary", f.primary),
+				flightrec.KV("refused_lsn", applied))
 			bctx, cancel := context.WithTimeout(ctx, f.cfg.ConnectTimeout)
 			berr := f.bootstrap(bctx)
 			cancel()
@@ -410,14 +428,23 @@ func (f *Follower) streamOnce(ctx context.Context) (hadConnection bool, err erro
 			touch()
 			flush()
 			f.mu.Lock()
+			wasConnected := f.connected
 			f.hb = st
 			f.hbSeen = true
 			f.connected = true
+			applied := f.applied
 			lag := int64(0)
-			if st.NextLSN > f.applied {
-				lag = int64(st.NextLSN - f.applied)
+			if st.NextLSN > applied {
+				lag = int64(st.NextLSN - applied)
 			}
 			f.mu.Unlock()
+			if !wasConnected {
+				// Heartbeats repeat; only the false-to-true flip is an event.
+				flightrec.Default.Record(flightrec.EvReplConnect,
+					flightrec.KV("primary", f.primary),
+					flightrec.KV("primary_lsn", st.NextLSN),
+					flightrec.KV("applied_lsn", applied))
+			}
 			mFollowerConnected.Set(1)
 			mFollowerLag.Set(lag)
 			hadConnection = true

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"sort"
 	"sync"
+
+	"hotpaths/internal/flightrec"
 )
 
 // ErrSourceClosed is returned by Subscribe on a Source that has been
@@ -374,6 +376,10 @@ func (s *Subscription) deliverLocked(d Delta) {
 	mDeltas.Inc()
 	mSlowResets.Inc()
 	mSlowMissed.Add(uint64(dropped))
+	flightrec.Default.Record(flightrec.EvSubscriberReset,
+		flightrec.KV("subscription", s.id),
+		flightrec.KV("missed", dropped),
+		flightrec.KV("epoch", d.Epoch))
 }
 
 // diffResults computes the delta between two materialised results of the
